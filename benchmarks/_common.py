@@ -1,0 +1,31 @@
+"""Shared benchmark utilities (importable without conftest ambiguity)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 1.0 / 64.0))
+SEED = 42
+WEIGHT_SEED = 7
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> str:
+    """Print a rendered experiment table and persist it to
+    ``benchmarks/results/<name>.txt`` (so ``--benchmark-only`` runs, whose
+    stdout is captured, still leave the regenerated tables on disk)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    return str(path)
+
+
+def pick_source(graph, preferred: int = 0) -> int:
+    deg = graph.out_degrees
+    if preferred < graph.n and deg[preferred] > 0:
+        return preferred
+    return int(deg.argmax())

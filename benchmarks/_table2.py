@@ -1,0 +1,56 @@
+"""Shared machinery for the per-primitive Table 2 benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.frameworks import ALL_FRAMEWORKS
+from repro.harness.runner import Matrix, run_cell, geomean
+from repro.harness.tables import PAPER_TABLE2_MS, render_table2
+
+from _common import pick_source
+
+
+def run_primitive_matrix(primitive: str, graphs: Dict[str, object],
+                         pagerank_max_iter: Optional[int] = None) -> Matrix:
+    matrix = Matrix()
+    for name, g in graphs.items():
+        src = pick_source(g)
+        for cls in ALL_FRAMEWORKS:
+            matrix.add(run_cell(cls(), primitive, g, name, src=src,
+                                pagerank_max_iter=pagerank_max_iter))
+    return matrix
+
+
+def paper_speedup(primitive: str, dataset: str, versus: str) -> Optional[float]:
+    """Paper's runtime(versus)/runtime(Gunrock) for one cell."""
+    row = PAPER_TABLE2_MS[primitive][dataset]
+    a, b = row.get("Gunrock"), row.get(versus)
+    if a is None or b is None:
+        return None
+    return b / a
+
+
+def comparison_text(matrix: Matrix, primitive: str) -> str:
+    lines = [render_table2(matrix, primitive), ""]
+    lines.append(f"Speedup of Gunrock over each framework "
+                 f"(measured | paper), {primitive.upper()}:")
+    frameworks = [f for f in matrix.frameworks() if f != "Gunrock"]
+    lines.append(f"{'Dataset':<10}" + "".join(f"{fw:>22}" for fw in frameworks))
+    for ds in matrix.datasets():
+        row = [f"{ds:<10}"]
+        for fw in frameworks:
+            ours = matrix.speedup(primitive, ds, "Gunrock", fw)
+            paper = paper_speedup(primitive, ds, fw)
+            o = f"{ours:.2f}" if ours else "—"
+            p = f"{paper:.2f}" if paper else "—"
+            row.append(f"{o:>10} |{p:>9}")
+        lines.append("".join(row))
+    meas = {}
+    for fw in frameworks:
+        vals = [matrix.speedup(primitive, ds, "Gunrock", fw)
+                for ds in matrix.datasets()]
+        meas[fw] = geomean([v for v in vals if v])
+    lines.append("geomean measured: " + "  ".join(
+        f"{fw}={meas[fw]:.2f}" for fw in frameworks if meas[fw] == meas[fw]))
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Section 4.4 ablation — advance load-balancing strategies.
+
+"our coarse-grained (load-balancing) traversal method works better on
+social graphs with irregularly distributed degrees, while the fine-grained
+method works better on graphs where most nodes have small degrees ...
+this hybrid gives consistently high performance with both balanced and
+unbalanced vertex degree distributions."
+
+Also sweeps the hybrid's threshold around the paper's shipped 4096.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.loadbalance import Hybrid, LBPartitioned, ThreadMapped, TWC
+from repro.harness.runner import geomean
+from repro.primitives import bfs
+from repro.simt import Machine
+
+from _common import pick_source
+
+STRATEGIES = {
+    "thread_naive": lambda: ThreadMapped(cooperative=False),
+    "thread_coop": lambda: ThreadMapped(cooperative=True),
+    "twc": TWC,
+    "lb_partition": LBPartitioned,
+    "hybrid": Hybrid,
+}
+
+
+def _run(g, make_lb):
+    src = pick_source(g)
+    m = Machine()
+    r = bfs(g, src, machine=m, direction="push", lb=make_lb())
+    return m.elapsed_ms(), r.labels
+
+
+@pytest.fixture(scope="module")
+def results(paper_datasets):
+    from _common import report
+
+    out = {}
+    for name, g in paper_datasets.items():
+        out[name] = {s: _run(g, mk) for s, mk in STRATEGIES.items()}
+    strategies = list(STRATEGIES)
+    lines = ["BFS simulated ms by advance load-balancing strategy",
+             f"{'Dataset':<10}" + "".join(f"{s:>14}" for s in strategies)]
+    for name, row in out.items():
+        lines.append(f"{name:<10}"
+                     + "".join(f"{row[s][0]:>14.3f}" for s in strategies))
+    report("ablation_load_balance", "\n".join(lines))
+    return out
+
+
+def test_render(results):
+    pass  # rendered by the fixture
+
+
+def test_results_identical_across_strategies(results):
+    """Load balancing is purely a cost decision — never a semantic one."""
+    for name, row in results.items():
+        ref = row["hybrid"][1]
+        for s, (_, labels) in row.items():
+            assert np.array_equal(labels, ref), (name, s)
+
+
+def test_naive_thread_mapping_collapses_on_skew(results):
+    """The hub serializes a single lane: catastrophic on bitcoin (whose
+    hub is ~9% of V even at bench scale), measurably worse on the other
+    skewed graphs (their max degree shrinks with the scale factor, so the
+    serial lane is shorter)."""
+    naive = {n: results[n]["thread_naive"][0] for n in results}
+    hybrid = {n: results[n]["hybrid"][0] for n in results}
+    assert naive["bitcoin"] > 2.0 * hybrid["bitcoin"]
+    assert naive["kron"] > 1.2 * hybrid["kron"]
+    assert naive["soc"] > 0.95 * hybrid["soc"]
+
+
+def test_fine_grained_fine_on_road(results):
+    """Small even degrees: thread-mapped is within a small factor of the
+    hybrid (the regime where fine-grained 'works better')."""
+    road = results["roadnet"]
+    assert road["thread_coop"][0] < 1.3 * road["hybrid"][0]
+
+
+def test_hybrid_consistently_good(results):
+    """Hybrid within 1.5x of the best strategy on every dataset."""
+    for name, row in results.items():
+        best = min(ms for ms, _ in row.values())
+        assert row["hybrid"][0] < 1.5 * best, name
+
+
+@pytest.fixture(scope="module")
+def threshold_sweep(paper_datasets):
+    from _common import report
+
+    thresholds = [64, 256, 1024, 4096, 16384, 65536, 1 << 30]
+    geo = {}
+    for t in thresholds:
+        times = []
+        for name, g in paper_datasets.items():
+            ms, _ = _run(g, lambda t=t: Hybrid(threshold=t))
+            times.append(ms)
+        geo[t] = geomean(times)
+    lines = ["Hybrid threshold sweep (geomean simulated ms across datasets)"]
+    for t in thresholds:
+        tag = "  <- shipped default" if t == 4096 else ""
+        lines.append(f"  threshold {t:>10,}: {geo[t]:9.3f} ms{tag}")
+    report("ablation_lb_threshold", "\n".join(lines))
+    return geo
+
+
+def test_threshold_sweep(threshold_sweep):
+    """The paper ships 4096 as the best overall; assert the shipped value
+    is within 20% of the sweep's best geomean (plateaus are fine — it
+    need not be the unique optimum)."""
+    best = min(threshold_sweep.values())
+    assert threshold_sweep[4096] <= 1.2 * best
+
+
+def test_benchmark_hybrid_bfs(benchmark, paper_datasets, results,
+                              threshold_sweep):
+    g = paper_datasets["kron"]
+    benchmark.pedantic(lambda: _run(g, Hybrid), rounds=3, iterations=1)

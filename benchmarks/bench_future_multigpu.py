@@ -1,0 +1,75 @@
+"""Section 7 extension — multi-GPU scaling study (not a paper table; the
+paper names multi-GPU scaling as the key future-work direction and cites
+Merrill et al.'s multi-GPU BFS as the primitive-specific state of the art).
+
+Strong scaling of BFS and PageRank over 1, 2, 4, 8 simulated devices:
+per-device compute shrinks ~linearly while the interconnect (PCIe-class
+latency + bandwidth) takes over — the crossover the multi-GPU literature
+reports for graphs that fit on one device.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multi import MultiMachine, multi_gpu_bfs, multi_gpu_pagerank
+
+from _common import pick_source, report
+
+KS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def curves(paper_datasets):
+    g = paper_datasets["kron"]
+    src = pick_source(g)
+    bfs_rows = []
+    pr_rows = []
+    for k in KS:
+        r = multi_gpu_bfs(g, src, k=k, method="hash")
+        bfs_rows.append((k, r.elapsed_ms, r.compute_ms, r.comm_ms))
+        p = multi_gpu_pagerank(g, k=k, method="hash")
+        pr_rows.append((k, p.elapsed_ms, p.compute_ms, p.comm_ms))
+    lines = ["Multi-GPU strong scaling on the kron twin (hash partition)",
+             "", "BFS:",
+             f"{'devices':>8}{'total ms':>11}{'compute ms':>12}{'comm ms':>10}"]
+    for k, t, c, x in bfs_rows:
+        lines.append(f"{k:>8}{t:>11.3f}{c:>12.3f}{x:>10.3f}")
+    lines += ["", "PageRank:",
+              f"{'devices':>8}{'total ms':>11}{'compute ms':>12}{'comm ms':>10}"]
+    for k, t, c, x in pr_rows:
+        lines.append(f"{k:>8}{t:>11.3f}{c:>12.3f}{x:>10.3f}")
+    report("future_multigpu", "\n".join(lines))
+    return {"bfs": bfs_rows, "pagerank": pr_rows}
+
+
+def test_render(curves):
+    pass  # rendered by the fixture
+
+
+def test_compute_scales_down(curves):
+    for prim in ("bfs", "pagerank"):
+        compute = [c for _, _, c, _ in curves[prim]]
+        assert compute[-1] < compute[0], prim
+
+
+def test_comm_grows_with_devices(curves):
+    for prim in ("bfs", "pagerank"):
+        comm = [x for _, _, _, x in curves[prim]]
+        assert comm[0] == 0.0
+        assert comm[-1] > comm[1] * 0.5, prim
+
+
+def test_single_device_matches_dedicated_cost_scale(curves):
+    """k=1 runs entirely on-device: no communication at all."""
+    for prim in ("bfs", "pagerank"):
+        k, total, compute, comm = curves[prim][0]
+        assert comm == 0.0
+        assert total == pytest.approx(compute)
+
+
+def test_benchmark_multigpu_bfs(benchmark, paper_datasets, curves):
+    g = paper_datasets["kron"]
+    src = pick_source(g)
+    benchmark.pedantic(lambda: multi_gpu_bfs(g, src, k=4, method="hash"),
+                       rounds=3, iterations=1)

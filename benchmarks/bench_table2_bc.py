@@ -1,0 +1,55 @@
+"""Table 2, BC rows — single-source Brandes betweenness centrality.
+
+Only BGL, the hardwired gpu_BC, Ligra and Gunrock implement BC (the GAS
+and message-passing frameworks show '—' in the paper, reproduced here as
+Unsupported cells).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import geomean
+from repro.primitives import bc
+from repro.simt import Machine
+
+from _table2 import comparison_text, run_primitive_matrix
+from _common import pick_source, report
+
+
+@pytest.fixture(scope="module")
+def matrix(paper_datasets):
+    m = run_primitive_matrix("bc", paper_datasets)
+    report("table2_bc", comparison_text(m, "bc"))
+    return m
+
+
+def test_render(matrix):
+    print(comparison_text(matrix, "bc"))
+
+
+def test_unsupported_cells_match_paper(matrix):
+    for fw in ("PowerGraph", "Medusa", "MapGraph"):
+        for ds in matrix.datasets():
+            assert not matrix.get(fw, "bc", ds).supported
+
+
+def test_gunrock_beats_bgl(matrix):
+    sp = geomean([matrix.speedup("bc", ds, "Gunrock", "BGL")
+                  for ds in matrix.datasets()])
+    assert sp > 3.0
+
+
+def test_gunrock_comparable_to_hardwired_and_ligra(matrix):
+    for other in ("HardwiredGPU", "Ligra"):
+        sp = geomean([matrix.speedup("bc", ds, "Gunrock", other)
+                      for ds in matrix.datasets()])
+        assert 0.3 < sp < 2.0, f"{other}: {sp:.2f}"
+
+
+def test_benchmark_gunrock_bc(benchmark, paper_datasets, matrix):
+    g = paper_datasets["soc"]
+    src = pick_source(g)
+    result = benchmark.pedantic(
+        lambda: bc(g, src, machine=Machine()), rounds=3, iterations=1)
+    assert result.bc_values.max() > 0

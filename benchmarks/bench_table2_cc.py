@@ -1,0 +1,64 @@
+"""Table 2, CC rows — Soman hooking + pointer jumping vs everything else.
+
+Reproduction targets: the paper's biggest framework gap (geomean 12.1x
+over MapGraph's label-propagation CC), Ligra's CC collapsing on the
+huge-diameter bitcoin graph, and Gunrock trailing the hardwired conn code
+by 1.5-2x (its only loss in Table 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import geomean
+from repro.primitives import cc
+from repro.simt import Machine
+
+from _table2 import comparison_text, run_primitive_matrix
+from _common import report
+
+
+@pytest.fixture(scope="module")
+def matrix(paper_datasets):
+    m = run_primitive_matrix("cc", paper_datasets)
+    report("table2_cc", comparison_text(m, "cc"))
+    return m
+
+
+def test_render(matrix):
+    print(comparison_text(matrix, "cc"))
+
+
+def test_gunrock_beats_mapgraph_big(matrix):
+    """Label propagation needs diameter-many rounds; hooking needs ~log."""
+    sp = geomean([matrix.speedup("cc", ds, "Gunrock", "MapGraph")
+                  for ds in matrix.datasets()])
+    assert sp > 5.0
+
+
+def test_ligra_cc_collapses_on_bitcoin(matrix):
+    """Paper: Ligra CC on bitcoin = 6180 ms vs Gunrock 58.5 ms (105x)."""
+    sp = matrix.speedup("cc", "bitcoin", "Gunrock", "Ligra")
+    assert sp > 10.0
+
+
+def test_gunrock_slower_than_hardwired_in_band(matrix):
+    """'for CC, Gunrock is 1.5-2x slower than the hardwired GPU
+    implementation' — the framework's one loss; allow a wide band."""
+    sp = geomean([matrix.speedup("cc", ds, "Gunrock", "HardwiredGPU")
+                  for ds in matrix.datasets()])
+    assert 0.25 < sp < 1.0
+
+
+def test_gunrock_beats_cpu(matrix):
+    for other in ("BGL", "PowerGraph"):
+        sp = geomean([matrix.speedup("cc", ds, "Gunrock", other)
+                      for ds in matrix.datasets()])
+        assert sp > 5.0, f"{other}: {sp:.2f}"
+
+
+def test_benchmark_gunrock_cc(benchmark, paper_datasets, matrix):
+    g = paper_datasets["soc"]
+    result = benchmark.pedantic(
+        lambda: cc(g, machine=Machine()), rounds=3, iterations=1)
+    assert result.num_components >= 1

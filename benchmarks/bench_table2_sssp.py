@@ -1,0 +1,61 @@
+"""Table 2, SSSP rows — random weights in [1, 64], near/far priority queue.
+
+Reproduction targets: order of magnitude over BGL/PowerGraph, geomean
+2.5x over MapGraph, comparable to deltaStep (hardwired) and Ligra
+(which runs Bellman-Ford — the paper flags that comparison as
+algorithm-vs-algorithm rather than framework-vs-framework).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import geomean
+from repro.primitives import sssp
+from repro.simt import Machine
+
+from _table2 import comparison_text, run_primitive_matrix
+from _common import pick_source, report
+
+
+@pytest.fixture(scope="module")
+def matrix(paper_datasets_weighted):
+    m = run_primitive_matrix("sssp", paper_datasets_weighted)
+    report("table2_sssp", comparison_text(m, "sssp"))
+    return m
+
+
+def test_render(matrix):
+    print(comparison_text(matrix, "sssp"))
+
+
+def test_gunrock_beats_cpu_baselines(matrix):
+    sp_bgl = geomean([matrix.speedup("sssp", ds, "Gunrock", "BGL")
+                      for ds in matrix.datasets()])
+    sp_pg = geomean([matrix.speedup("sssp", ds, "Gunrock", "PowerGraph")
+                     for ds in matrix.datasets()])
+    assert sp_bgl > 3.0
+    assert sp_pg > 10.0
+
+
+def test_gunrock_beats_gpu_frameworks(matrix):
+    for other in ("Medusa", "MapGraph"):
+        sp = geomean([matrix.speedup("sssp", ds, "Gunrock", other)
+                      for ds in matrix.datasets()])
+        assert sp > 1.5, f"expected a clear win over {other}, got {sp:.2f}"
+
+
+def test_gunrock_comparable_to_hardwired(matrix):
+    sp = geomean([matrix.speedup("sssp", ds, "Gunrock", "HardwiredGPU")
+                  for ds in matrix.datasets()])
+    assert 0.3 < sp < 1.5
+
+
+def test_benchmark_gunrock_sssp(benchmark, paper_datasets_weighted, matrix):
+    g = paper_datasets_weighted["soc"]
+    src = pick_source(g)
+    result = benchmark.pedantic(
+        lambda: sssp(g, src, machine=Machine()), rounds=3, iterations=1)
+    import numpy as np
+
+    assert np.isfinite(result.labels).sum() > 1

@@ -1,0 +1,120 @@
+"""Table 3 — scalability of the five Gunrock primitives on Kronecker
+graphs of doubling size.
+
+Paper: "runtimes scale roughly linearly with graph size, but primitives
+with heavy use of atomics on the frontier (e.g. BC and SSSP) show
+increased atomic contention ... and thus do not scale ideally."  The
+paper sweeps logn 17-21; we sweep a range shifted down to the bench scale
+(same doubling structure).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+from repro.graph.build import with_random_weights
+from repro.harness.tables import render_table3
+from repro.primitives import bc, bfs, cc, pagerank, sssp
+from repro.simt import Machine
+
+MIN_LOGN = int(os.environ.get("REPRO_BENCH_T3_MIN", 11))
+MAX_LOGN = int(os.environ.get("REPRO_BENCH_T3_MAX", 15))
+
+
+def _run_all(g):
+    gw = with_random_weights(g, seed=7)
+    src = int(g.out_degrees.argmax())
+    out = {}
+
+    m = Machine()
+    r = bfs(g, src, machine=m)
+    out["bfs_ms"] = r.elapsed_ms
+    out["bfs_mteps"] = g.m / (r.elapsed_ms * 1e-3) / 1e6
+
+    m = Machine()
+    r = bc(g, src, machine=m)
+    out["bc_ms"] = r.elapsed_ms
+    out["bc_mteps"] = 2 * g.m / (r.elapsed_ms * 1e-3) / 1e6
+
+    m = Machine()
+    r = sssp(gw, src, machine=m)
+    out["sssp_ms"] = r.elapsed_ms
+    out["sssp_mteps"] = g.m / (r.elapsed_ms * 1e-3) / 1e6
+
+    m = Machine()
+    r = cc(g, machine=m)
+    out["cc_ms"] = r.elapsed_ms
+
+    m = Machine()
+    r = pagerank(g, machine=m)
+    out["pagerank_ms"] = r.elapsed_ms
+    return out
+
+
+@pytest.fixture(scope="module")
+def rows():
+    from _common import report
+
+    series = datasets.kron_scalability_series(MIN_LOGN, MAX_LOGN)
+    rows = []
+    for name, g in series.items():
+        r = {"dataset": name, "vertices": g.n, "edges": g.m}
+        r.update(_run_all(g))
+        rows.append(r)
+    report("table3_scalability", render_table3(rows))
+    return rows
+
+
+def test_render_table3(rows):
+    pass  # rendered by the fixture
+
+
+def test_runtime_grows_with_size(rows):
+    for key in ("bfs_ms", "bc_ms", "sssp_ms", "cc_ms", "pagerank_ms"):
+        vals = [r[key] for r in rows]
+        assert all(b > a for a, b in zip(vals, vals[1:])), key
+
+
+def test_runtime_roughly_linear(rows):
+    """Per doubling step the cost should track edge growth within a wide
+    band (paper: 'roughly linearly'; CC's hooking-round count varies a
+    little between sizes, so its per-step ratio is noisier)."""
+    for key in ("bfs_ms", "pagerank_ms", "cc_ms"):
+        for a, b in zip(rows, rows[1:]):
+            ratio = b[key] / a[key]
+            growth = b["edges"] / a["edges"]
+            assert 0.35 * growth < ratio < 2.5 * growth, (key, ratio, growth)
+    # end-to-end across the whole sweep the trend must be near-linear
+    for key in ("bfs_ms", "pagerank_ms", "cc_ms"):
+        total_ratio = rows[-1][key] / rows[0][key]
+        total_growth = rows[-1]["edges"] / rows[0]["edges"]
+        assert 0.2 * total_growth < total_ratio < 2.0 * total_growth
+
+
+def test_bfs_throughput_sustained(rows):
+    """BFS MTEPS should not collapse as the graph grows (paper holds
+    ~4-5 GTEPS across the sweep)."""
+    mteps = [r["bfs_mteps"] for r in rows]
+    assert max(mteps) / min(mteps) < 8.0
+
+
+def test_atomic_heavy_primitives_scale_worse_than_bfs(rows):
+    """Paper: BC and SSSP 'do not scale ideally' due to atomic contention
+    — their throughput trend must not beat BFS's."""
+    first, last = rows[0], rows[-1]
+    bfs_trend = last["bfs_mteps"] / first["bfs_mteps"]
+    bc_trend = last["bc_mteps"] / first["bc_mteps"]
+    assert bc_trend < bfs_trend * 1.5
+
+
+def test_benchmark_largest_kron_bfs(benchmark, rows):
+    from repro.graph import generators
+
+    g = generators.kronecker(MAX_LOGN, edge_factor=22, seed=42)
+    src = int(g.out_degrees.argmax())
+    benchmark.pedantic(lambda: bfs(g, src, machine=Machine()),
+                       rounds=3, iterations=1)

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+``REPRO_BENCH_SCALE`` (default ``1/64``) sets the linear down-scale of
+the paper's datasets.  Larger scales sharpen the Table 2 ratios (launch
+overhead amortizes over more edges) at the cost of wall time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import datasets
+from repro.graph.build import with_random_weights
+
+from _common import SCALE, SEED, WEIGHT_SEED
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def paper_datasets():
+    """The four Table 1 twins at the bench scale (unweighted)."""
+    return {name: datasets.load(name, scale=SCALE, seed=SEED)
+            for name in datasets.TABLE_ORDER}
+
+
+@pytest.fixture(scope="session")
+def paper_datasets_weighted(paper_datasets):
+    """Weighted variants (SSSP: 'random values between 1 and 64')."""
+    return {name: with_random_weights(g, seed=WEIGHT_SEED)
+            for name, g in paper_datasets.items()}

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Framework face-off — a miniature of the paper's Table 2.
+
+Runs BFS and SSSP across all seven systems (BGL, PowerGraph, Medusa,
+MapGraph, hardwired GPU, Ligra, Gunrock) on a scale-free graph and a road
+grid, printing simulated runtimes and Gunrock's speedups.  For the full
+four-dataset, five-primitive table, see benchmarks/bench_table2_*.py.
+
+Run:  python examples/framework_faceoff.py
+"""
+
+from repro.frameworks import ALL_FRAMEWORKS, Unsupported
+from repro.graph import generators, with_random_weights
+
+
+def run(primitive: str, graph, label: str) -> None:
+    print(f"\n{primitive.upper()} on {label} "
+          f"({graph.n:,} vertices, {graph.m:,} edges)")
+    rows = []
+    for cls in ALL_FRAMEWORKS:
+        fw = cls()
+        try:
+            r = fw.run(primitive, graph, src=0)
+            rows.append((fw.name, r.runtime_ms, r.iterations))
+        except Unsupported:
+            rows.append((fw.name, None, 0))
+    gunrock = next(ms for name, ms, _ in rows if name == "Gunrock")
+    for name, ms, iters in rows:
+        if ms is None:
+            print(f"  {name:<14} {'—':>10}")
+        else:
+            rel = ms / gunrock
+            marker = "  <- Gunrock" if name == "Gunrock" else f"  ({rel:5.1f}x)"
+            print(f"  {name:<14} {ms:>10.3f} ms  {iters:>4} iters{marker}")
+
+
+def main() -> None:
+    kron = generators.kronecker(13, seed=2)
+    road = generators.road_grid(100, 60, seed=2)
+
+    run("bfs", kron, "scale-free (kron)")
+    run("bfs", road, "road grid")
+    run("sssp", with_random_weights(kron, seed=3), "scale-free (kron)")
+    run("sssp", with_random_weights(road, seed=3), "road grid")
+
+
+if __name__ == "__main__":
+    main()

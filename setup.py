@@ -1,0 +1,8 @@
+"""Compatibility shim: enables ``python setup.py develop`` on machines
+where pip cannot build PEP-660 editable wheels (e.g. no ``wheel``
+package and no network).  Normal installs should use ``pip install -e .``
+which reads pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Gunrock reproduction: frontier-centric GPU graph processing in Python.
+
+A from-scratch reimplementation of "Gunrock: A High-Performance Graph
+Processing Library on the GPU" (Wang et al., PPoPP 2015) — the
+data-centric frontier abstraction (advance / filter / compute), its
+load-balancing and direction-optimization machinery, the five evaluated
+primitives plus the bipartite who-to-follow suite and the in-development
+extensions, every comparison framework from the paper's evaluation, and a
+simulated SIMT GPU substrate that stands in for the paper's K40c (see
+DESIGN.md for the substitution argument).
+
+Quick start::
+
+    from repro import graph, primitives
+    from repro.simt import Machine
+
+    g = graph.generators.kronecker(16, seed=1)
+    m = Machine()
+    result = primitives.bfs(g, src=0, machine=m)
+    print(result.labels[:10], m.elapsed_ms(), "simulated ms")
+"""
+
+from . import core, frameworks, graph, harness, multi, primitives, reference, simt
+from .graph import Csr, from_edges
+from .simt import Machine, GPUSpec
+from .core import Frontier, Functor, ProblemBase, EnactorBase
+from .primitives import bfs, sssp, bc, pagerank, cc
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core", "frameworks", "graph", "harness", "multi", "primitives",
+    "reference", "simt",
+    "Csr", "from_edges", "Machine", "GPUSpec",
+    "Frontier", "Functor", "ProblemBase", "EnactorBase",
+    "bfs", "sssp", "bc", "pagerank", "cc",
+    "__version__",
+]

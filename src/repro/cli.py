@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the original Gunrock's test drivers (``bfs market graph.mtx``):
+
+* ``info``      — Table 1-style structural statistics for a graph
+* ``generate``  — build a synthetic graph and write it to a file
+* ``run``       — run one primitive on a graph, print outputs + counters
+* ``compare``   — run one primitive across all frameworks (a Table 2 row)
+* ``datasets``  — list the built-in dataset twins
+
+Graphs come from ``--dataset NAME`` (a built-in twin), ``--generate SPEC``
+(e.g. ``kron:12``, ``road:100x80``, ``hub:20000``, ``powerlaw:10000``), or
+a file path (`.mtx`, `.gr`, or an edge list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from .graph import datasets, generators, io, properties
+from .graph.build import with_random_weights
+from .graph.csr import Csr
+from .simt import Machine
+
+PRIMITIVES = ("bfs", "sssp", "bc", "pagerank", "cc", "mst", "mis", "color",
+              "triangles", "kcore", "labelprop")
+
+
+def load_graph(args) -> Csr:
+    """Resolve the graph source options shared by most subcommands."""
+    if getattr(args, "dataset", None):
+        g = datasets.load(args.dataset, scale=args.scale, seed=args.seed)
+    elif getattr(args, "generate", None):
+        g = _generate(args.generate, args.seed)
+    elif getattr(args, "graph", None):
+        g = _read_file(args.graph)
+    else:
+        raise SystemExit("provide --dataset, --generate, or a graph file")
+    if getattr(args, "weighted", False) and g.edge_values is None:
+        g = with_random_weights(g, low=1, high=64, seed=args.seed)
+    return g
+
+
+def _generate(spec: str, seed: int) -> Csr:
+    kind, _, param = spec.partition(":")
+    if kind == "kron":
+        return generators.kronecker(int(param or 12), seed=seed)
+    if kind == "road":
+        w, _, h = (param or "64x64").partition("x")
+        return generators.road_grid(int(w), int(h or w), seed=seed)
+    if kind == "hub":
+        return generators.hub_graph(int(param or 10000), seed=seed)
+    if kind == "powerlaw":
+        return generators.powerlaw_cluster(int(param or 10000), seed=seed)
+    if kind == "random":
+        n = int(param or 10000)
+        return generators.uniform_random(n, 8 * n, seed=seed)
+    raise SystemExit(f"unknown generator spec {spec!r} "
+                     "(use kron:N, road:WxH, hub:N, powerlaw:N, random:N)")
+
+
+def _read_file(path: str) -> Csr:
+    if path.endswith(".mtx"):
+        return io.read_matrix_market(path)
+    if path.endswith(".gr"):
+        return io.read_dimacs(path)
+    if path.endswith(".npz"):
+        return io.read_npz(path)
+    return io.read_edgelist(path)
+
+
+def _write_file(g: Csr, path: str) -> None:
+    if path.endswith(".mtx"):
+        io.write_matrix_market(g, path)
+    elif path.endswith(".gr"):
+        io.write_dimacs(g, path)
+    elif path.endswith(".npz"):
+        io.write_npz(g, path)
+    else:
+        io.write_edgelist(g, path)
+
+
+def _add_graph_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("graph", nargs="?", help="graph file (.mtx/.gr/edge list)")
+    p.add_argument("--dataset", choices=sorted(datasets.REGISTRY),
+                   help="built-in dataset twin")
+    p.add_argument("--generate", help="generator spec, e.g. kron:14")
+    p.add_argument("--scale", type=float, default=datasets.DEFAULT_SCALE,
+                   help="dataset twin scale (default 1/64)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--weighted", action="store_true",
+                   help="attach random weights in [1, 64]")
+
+
+def cmd_info(args) -> int:
+    g = load_graph(args)
+    s = properties.stats(g, seed=args.seed)
+    print(f"{'vertices':<22}{s.n:,}")
+    print(f"{'edges':<22}{s.m:,}")
+    print(f"{'max degree':<22}{s.max_degree:,}")
+    print(f"{'avg degree':<22}{s.avg_degree:.2f}")
+    print(f"{'pseudo-diameter':<22}{s.pseudo_diameter}")
+    print(f"{'frac degree < 4':<22}{s.frac_degree_lt_4:.2%}")
+    print(f"{'frac degree < 128':<22}{s.frac_degree_lt_128:.2%}")
+    print(f"{'components':<22}{s.n_components} "
+          f"(largest {s.largest_component_frac:.1%})")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    g = load_graph(args)
+    _write_file(g, args.output)
+    print(f"wrote {g} to {args.output}")
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    for name in datasets.TABLE_ORDER:
+        spec = datasets.REGISTRY[name]
+        print(f"{name:<10} {spec.description}")
+        print(f"{'':<10} paper: |V|={spec.paper_vertices:,} "
+              f"|E|={spec.paper_edges:,} maxdeg={spec.paper_max_degree:,} "
+              f"diam={spec.paper_diameter}")
+    return 0
+
+
+def _run_primitive(name: str, g: Csr, src: int, machine: Machine):
+    from . import primitives as P
+
+    if name == "bfs":
+        r = P.bfs(g, src, machine=machine)
+        return r, f"reached {(r.labels >= 0).sum()}/{g.n}, depth {r.labels.max()}"
+    if name == "sssp":
+        gw = g if g.edge_values is not None else with_random_weights(g)
+        r = P.sssp(gw, src, machine=machine)
+        finite = np.isfinite(r.labels)
+        return r, f"reached {int(finite.sum())}/{g.n}, " \
+                  f"max distance {r.labels[finite].max():.0f}"
+    if name == "bc":
+        r = P.bc(g, src, machine=machine)
+        return r, f"top vertex {int(np.argmax(r.bc_values))} " \
+                  f"(score {r.bc_values.max():.1f})"
+    if name == "pagerank":
+        r = P.pagerank(g, machine=machine)
+        top = np.argsort(-r.rank)[:5]
+        return r, f"top vertices {top.tolist()}"
+    if name == "cc":
+        r = P.cc(g, machine=machine)
+        return r, f"{r.num_components} components"
+    if name == "mst":
+        gw = g if g.edge_values is not None else with_random_weights(g)
+        r = P.mst(gw, machine=machine)
+        return r, f"forest weight {r.total_weight(gw):,.0f}"
+    if name == "mis":
+        r = P.mis(g, machine=machine)
+        return r, f"independent set of {r.set_size}"
+    if name == "color":
+        r = P.color(g, machine=machine)
+        return r, f"{r.num_colors} colors"
+    if name == "triangles":
+        r = P.triangle_count(g, machine=machine)
+        return r, f"{r.total:,} triangles"
+    if name == "kcore":
+        r = P.kcore(g, machine=machine)
+        return r, f"max core {r.max_core}"
+    if name == "labelprop":
+        r = P.label_propagation(g, machine=machine)
+        return r, f"{r.num_communities} communities"
+    raise SystemExit(f"unknown primitive {name!r}")
+
+
+def cmd_run(args) -> int:
+    g = load_graph(args)
+    src = args.src if args.src is not None else int(g.out_degrees.argmax())
+    machine = Machine()
+    result, summary = _run_primitive(args.primitive, g, src, machine)
+    print(f"{args.primitive} on {g}: {summary}")
+    c = machine.counters
+    print(f"simulated {machine.elapsed_ms():.3f} ms | "
+          f"{c.kernel_launches} kernels | {c.edges_visited:,} edges | "
+          f"{c.atomics_issued:,} atomics | "
+          f"{getattr(result, 'iterations', 0)} iterations")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .frameworks import ALL_FRAMEWORKS, Unsupported
+
+    g = load_graph(args)
+    if args.primitive == "sssp" and g.edge_values is None:
+        g = with_random_weights(g, seed=args.seed)
+    src = args.src if args.src is not None else int(g.out_degrees.argmax())
+    print(f"{args.primitive} on {g}")
+    rows = []
+    for cls in ALL_FRAMEWORKS:
+        fw = cls()
+        try:
+            r = fw.run(args.primitive, g, src=src)
+            rows.append((fw.name, r.runtime_ms))
+        except Unsupported:
+            rows.append((fw.name, None))
+    base = dict(rows).get("Gunrock")
+    for name, ms in rows:
+        if ms is None:
+            print(f"  {name:<14}{'—':>12}")
+        else:
+            rel = f"({ms / base:5.1f}x)" if base else ""
+            print(f"  {name:<14}{ms:>12.3f} ms  {rel}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Gunrock reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="graph structural statistics")
+    _add_graph_options(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("generate", help="generate a graph to a file")
+    _add_graph_options(p)
+    p.add_argument("--output", "-o", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("run", help="run a primitive")
+    p.add_argument("primitive", choices=PRIMITIVES)
+    _add_graph_options(p)
+    p.add_argument("--src", type=int, default=None)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="run one primitive on every framework")
+    p.add_argument("primitive", choices=("bfs", "sssp", "bc", "pagerank", "cc"))
+    _add_graph_options(p)
+    p.add_argument("--src", type=int, default=None)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("datasets", help="list built-in dataset twins")
+    p.set_defaults(fn=cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Bulk-synchronous atomics.
+
+CUDA functors call ``atomicMin``/``atomicAdd``/``atomicCAS`` per lane; our
+vectorized functors call these helpers over index/value arrays.  Semantics
+follow the BSP reading used throughout Gunrock: every lane observes the
+*pre-kernel* value of the cell (labels/distances written by earlier
+iterations), and the post-kernel cell holds the combined result of all
+lanes.  This is deterministic regardless of lane order, and it is exactly
+the property Gunrock's primitives rely on (e.g. SSSP's ``UpdateLabel``
+returns whether the lane improved on the previous distance; the filter
+step then removes redundant winners).
+
+Cost model: each call charges ``C_ATOMIC`` per lane plus serialization of
+conflicting lanes (lanes - distinct addresses) at ``C_ATOMIC_CONFLICT``,
+folded into the enclosing fused kernel when one is open.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..simt import calib
+from ..simt.machine import Machine
+
+
+def _charge(machine: Optional[Machine], name: str, idx: np.ndarray) -> None:
+    if machine is None or len(idx) == 0:
+        return
+    counts = np.bincount(idx - idx.min()) if len(idx) else np.zeros(1)
+    hottest = int(counts.max())
+    conflicts = len(idx) - np.count_nonzero(counts)
+    machine.counters.record_atomics(len(idx), conflicts)
+    # aggregate throughput term + serial chain on the hottest address
+    body = (len(idx) * calib.C_ATOMIC_THROUGHPUT
+            + max(0, hottest - 1) * calib.C_ATOMIC_CONFLICT)
+    machine.launch(name, body_cycles=body, items=len(idx))
+
+
+def atomic_min(array: np.ndarray, idx: np.ndarray, vals: np.ndarray,
+               machine: Optional[Machine] = None) -> np.ndarray:
+    """``atomicMin`` over lanes: returns the per-lane "improved" mask.
+
+    A lane's mask bit is True when its value is strictly below the
+    pre-kernel value of its cell — the condition under which Gunrock's
+    SSSP admits the destination into the new frontier.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    vals = np.asarray(vals)
+    if len(idx) != len(vals):
+        raise ValueError("atomic_min: index/value length mismatch")
+    old = array[idx]
+    won = vals < old
+    np.minimum.at(array, idx, vals)
+    _charge(machine, "atomic_min", idx)
+    return won
+
+
+def atomic_max(array: np.ndarray, idx: np.ndarray, vals: np.ndarray,
+               machine: Optional[Machine] = None) -> np.ndarray:
+    """``atomicMax`` over lanes: per-lane "improved" mask (strictly above)."""
+    idx = np.asarray(idx, dtype=np.int64)
+    vals = np.asarray(vals)
+    if len(idx) != len(vals):
+        raise ValueError("atomic_max: index/value length mismatch")
+    old = array[idx]
+    won = vals > old
+    np.maximum.at(array, idx, vals)
+    _charge(machine, "atomic_max", idx)
+    return won
+
+
+def atomic_add(array: np.ndarray, idx: np.ndarray, vals: np.ndarray,
+               machine: Optional[Machine] = None) -> None:
+    """``atomicAdd`` over lanes (PageRank/BC accumulation)."""
+    idx = np.asarray(idx, dtype=np.int64)
+    vals = np.asarray(vals)
+    if len(idx) != len(vals):
+        raise ValueError("atomic_add: index/value length mismatch")
+    np.add.at(array, idx, vals)
+    _charge(machine, "atomic_add", idx)
+
+
+def atomic_cas_claim(flags: np.ndarray, idx: np.ndarray,
+                     machine: Optional[Machine] = None) -> np.ndarray:
+    """First-claimer-wins ``atomicCAS`` on a boolean flag array.
+
+    Returns the per-lane mask of *winners*: exactly one lane per distinct
+    unclaimed cell (deterministically the first occurrence in lane order).
+    This is the primitive behind Gunrock's non-idempotent advance, which
+    "internally uses atomic operations to guarantee each element appears
+    only once in the output frontier" (Section 4.1.1).
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    won = np.zeros(len(idx), dtype=bool)
+    if len(idx):
+        unclaimed = ~flags[idx]
+        # first occurrence of each distinct index, in lane order
+        order = np.arange(len(idx))
+        first = np.zeros(len(idx), dtype=bool)
+        _, first_pos = np.unique(idx, return_index=True)
+        first[first_pos] = True
+        won = unclaimed & first
+        flags[idx[won]] = True
+        del order
+    _charge(machine, "atomic_cas", idx)
+    return won
+
+
+def atomic_exch_gather(array: np.ndarray, idx: np.ndarray, vals: np.ndarray,
+                       machine: Optional[Machine] = None) -> np.ndarray:
+    """``atomicExch``-style scatter where the *last* lane per cell wins
+    deterministically (lane order = array order); returns old values."""
+    idx = np.asarray(idx, dtype=np.int64)
+    vals = np.asarray(vals)
+    old = array[idx].copy()
+    array[idx] = vals  # numpy fancy assignment: last write wins
+    _charge(machine, "atomic_exch", idx)
+    return old
+
+
+def conflict_stats(idx: np.ndarray) -> Tuple[int, int]:
+    """(lanes, conflicting lanes) for an address vector — used by tests."""
+    idx = np.asarray(idx)
+    if len(idx) == 0:
+        return 0, 0
+    return len(idx), len(idx) - len(np.unique(idx))

@@ -1,0 +1,90 @@
+"""Direction-optimized (push/pull) traversal policy (Section 4.1.1).
+
+Beamer et al.'s hybrid BFS switches from top-down ("push") to bottom-up
+("pull") "when the number of unvisited vertices drops below the size of
+the current frontier" — more precisely, when the edges the frontier would
+scatter exceed a fraction of the edges the unvisited set would examine.
+Gunrock integrates the same policy behind its advance operator; this
+module is that policy, kept separate from the mechanics in
+:mod:`repro.core.operators.advance` so ablation benchmarks can force
+either direction.
+
+The footnote the paper attaches: the optimization "can only be applied to
+graph algorithms that do not require visiting all the edges"; it helps
+scale-free graphs (geomean 1.52x) more than road networks (1.28x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.csr import Csr
+
+
+@dataclass
+class DirectionOptimizer:
+    """Stateful push/pull chooser (Beamer's alpha/beta heuristic).
+
+    * switch push->pull when ``m_frontier > m_unvisited / alpha``;
+    * switch pull->push when the frontier shrinks below ``n / beta``
+      (the tail of the traversal, where scanning all unvisited vertices
+      costs more than scattering the few remaining active ones).
+    """
+
+    alpha: float = 15.0
+    beta: float = 18.0
+    mode: str = "push"
+
+    def choose(self, graph: Csr, frontier_size: int, frontier_edges: int,
+               unvisited_count: int) -> str:
+        """Pick the direction for the next advance; updates internal state.
+
+        ``frontier_edges`` is the frontier's total out-degree; the
+        unvisited side's edge volume is estimated from the unvisited
+        count and the average degree (Gunrock tracks the exact quantity
+        incrementally; the estimate changes nothing at the scale the
+        heuristic operates on).
+        """
+        if graph.n == 0:
+            return self.mode
+        avg_deg = graph.m / max(1, graph.n)
+        unvisited_edges = unvisited_count * avg_deg
+        if self.mode == "push":
+            # Beamer's edge-volume test, guarded by the paper's own
+            # condition ("when the number of unvisited vertices drops
+            # below the size of the current frontier", §4.1.1): without
+            # the guard, a hub burst on a huge-diameter graph flips to
+            # pull while nearly everything is still unvisited, and the
+            # repeated unvisited scans swamp any saving.
+            if (frontier_edges > unvisited_edges / self.alpha
+                    and 0 < unvisited_count < graph.n // 2
+                    # never switch into a state the pull->push rule would
+                    # immediately revert (tail ping-pong on long-diameter
+                    # graphs pays a full unvisited scan per flip)
+                    and frontier_size >= graph.n / self.beta):
+                self.mode = "pull"
+        else:
+            if frontier_size < graph.n / self.beta:
+                self.mode = "push"
+        return self.mode
+
+    def reset(self) -> None:
+        self.mode = "push"
+
+
+@dataclass
+class FixedDirection:
+    """Always push or always pull — the ablation arms."""
+
+    mode: str = "push"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("push", "pull"):
+            raise ValueError("mode must be 'push' or 'pull'")
+
+    def choose(self, graph: Csr, frontier_size: int, frontier_edges: int,
+               unvisited_count: int) -> str:
+        return self.mode
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,114 @@
+"""Enactor base class — the entry point of a Gunrock primitive.
+
+"an enactor, which serves as the entry point of the graph algorithm and
+specifies the computation as a series of advance and/or filter kernel
+calls with user-defined kernel launching settings." (Section 4.3)
+
+:class:`EnactorBase` owns the iteration loop, the convergence criteria
+(empty frontier by default, plus optional iteration caps and volatile
+flags — Section 4.1), and an operator *trace* that records the sequence
+of steps each primitive executes (the data behind Figure 5's flow
+charts).  Subclasses implement :meth:`_iterate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .frontier import Frontier
+from .functor import Functor
+from .loadbalance import LoadBalancer, default_load_balancer
+from .operators.advance import advance as _advance
+from .operators.compute import compute as _compute
+from .operators.filter import IdempotenceHeuristics, filter_frontier as _filter
+from .problem import ProblemBase
+
+
+@dataclass
+class TraceEvent:
+    """One operator invocation in an enactor run."""
+
+    iteration: int
+    op: str
+    in_size: int
+    out_size: int
+
+
+@dataclass
+class EnactorStats:
+    iterations: int = 0
+    trace: List[TraceEvent] = field(default_factory=list)
+
+    def ops_per_iteration(self) -> float:
+        if self.iterations == 0:
+            return 0.0
+        return len(self.trace) / self.iterations
+
+    def op_sequence(self, iteration: int = 0) -> List[str]:
+        """Operator names executed in one iteration (Figure 5's rows)."""
+        return [e.op for e in self.trace if e.iteration == iteration]
+
+
+class EnactorBase:
+    """Iteration loop + traced operator wrappers."""
+
+    def __init__(self, problem: ProblemBase, *,
+                 lb: Optional[LoadBalancer] = None,
+                 max_iterations: Optional[int] = None):
+        self.problem = problem
+        self.lb = lb if lb is not None else default_load_balancer()
+        self.max_iterations = max_iterations
+        self.stats = EnactorStats()
+        self.iteration = 0
+
+    # -- traced operator wrappers -------------------------------------------
+
+    def advance(self, frontier: Frontier, functor: Functor, **kwargs) -> Frontier:
+        kwargs.setdefault("lb", self.lb)
+        out = _advance(self.problem, frontier, functor,
+                       iteration=self.iteration, **kwargs)
+        self._trace("advance" if kwargs.get("mode", "push") == "push"
+                    else "advance_pull", frontier, out)
+        return out
+
+    def filter(self, frontier: Frontier, functor: Functor,
+               heuristics: Optional[IdempotenceHeuristics] = None,
+               label: str = "filter") -> Frontier:
+        out = _filter(self.problem, frontier, functor, heuristics=heuristics,
+                      iteration=self.iteration)
+        self._trace(label, frontier, out)
+        return out
+
+    def compute(self, frontier: Frontier, functor: Functor) -> Frontier:
+        out = _compute(self.problem, frontier, functor, iteration=self.iteration)
+        self._trace("compute", frontier, out)
+        return out
+
+    def _trace(self, op: str, before: Frontier, after: Frontier) -> None:
+        self.stats.trace.append(
+            TraceEvent(self.iteration, op, len(before), len(after)))
+
+    # -- the loop -------------------------------------------------------------
+
+    def _iterate(self, frontier: Frontier) -> Frontier:
+        """One bulk-synchronous super-step; subclasses implement."""
+        raise NotImplementedError
+
+    def _converged(self, frontier: Frontier) -> bool:
+        """Default convergence: empty frontier (Section 4.1).  Subclasses
+        may add volatile-flag or residual tests."""
+        return frontier.is_empty
+
+    def enact(self, frontier: Frontier) -> Frontier:
+        """Run to convergence; returns the final frontier."""
+        self.iteration = 0
+        while not self._converged(frontier):
+            if self.max_iterations is not None and self.iteration >= self.max_iterations:
+                break
+            frontier = self._iterate(frontier)
+            self.iteration += 1
+            if self.problem.machine is not None:
+                self.problem.machine.counters.iterations = self.iteration
+        self.stats.iterations = self.iteration
+        return frontier

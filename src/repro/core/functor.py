@@ -1,0 +1,79 @@
+"""Functor protocol — the user-computation half of Gunrock's API (Fig. 1).
+
+Gunrock exposes computation as ``cond``/``apply`` functors over edges and
+vertices, compiled into advance/filter kernels ("kernel fusion",
+Section 4.3).  Our vectorized equivalent: each method receives *arrays* of
+element ids (one entry per CUDA lane) plus the problem object, and returns
+a boolean mask (``cond``) or performs in-place updates (``apply``).
+
+Conventions
+-----------
+* ``cond_edge(problem, src, dst, edge_id)`` -> bool mask over lanes.
+  Lanes whose bit is True have ``apply_edge`` run and their destination
+  (or edge) admitted to advance's output frontier.
+* ``apply_edge(problem, src, dst, edge_id)`` -> optional bool mask.  When
+  a mask is returned it further narrows admission — this is how functors
+  express "return new_label < atomicMin(...)" in one fused step.
+* ``cond_vertex(problem, v)`` / ``apply_vertex(problem, v)`` — the filter
+  and compute counterparts.
+
+The default implementations pass everything through, so a functor only
+overrides what it needs (BFS's depth-setting apply is four lines).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Functor:
+    """Base functor: all-pass cond, no-op apply.
+
+    Subclasses hold no per-run state of their own; algorithm state lives
+    in the problem object, mirroring Gunrock's Problem/Functor split.
+    """
+
+    #: advisory: whether repeating apply_edge on the same destination is
+    #: harmless (enables the cheap-dedup filter heuristics, Section 4.1.1)
+    idempotent: bool = False
+
+    # -- edge-centric (advance) ---------------------------------------------
+
+    def cond_edge(self, problem, src: np.ndarray, dst: np.ndarray,
+                  edge_id: np.ndarray) -> Optional[np.ndarray]:
+        """Per-edge admission test; None means all lanes pass."""
+        return None
+
+    def apply_edge(self, problem, src: np.ndarray, dst: np.ndarray,
+                   edge_id: np.ndarray) -> Optional[np.ndarray]:
+        """Per-edge computation on passing lanes; an optional returned mask
+        narrows which lanes' destinations enter the output frontier."""
+        return None
+
+    # -- vertex-centric (filter / compute) -----------------------------------
+
+    def cond_vertex(self, problem, v: np.ndarray) -> Optional[np.ndarray]:
+        """Per-vertex admission test for filter; None means all pass."""
+        return None
+
+    def apply_vertex(self, problem, v: np.ndarray) -> Optional[np.ndarray]:
+        """Per-vertex computation for filter/compute steps."""
+        return None
+
+
+class AllPassFunctor(Functor):
+    """Pure traversal: no computation, everything admitted."""
+
+
+def resolve_masks(n_lanes: int, *masks: Optional[np.ndarray]) -> np.ndarray:
+    """AND together optional lane masks (None == all-True)."""
+    out = np.ones(n_lanes, dtype=bool)
+    for mask in masks:
+        if mask is not None:
+            if len(mask) != n_lanes:
+                raise ValueError(
+                    f"functor returned mask of length {len(mask)}, expected {n_lanes}")
+            out &= mask
+    return out

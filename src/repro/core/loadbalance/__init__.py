@@ -1,0 +1,12 @@
+"""Advance load-balancing strategies (Section 4.4)."""
+
+from .base import LoadBalancer, WorkEstimate
+from .thread_mapped import ThreadMapped
+from .twc import TWC
+from .lb_partitioned import LBPartitioned
+from .policy import Hybrid, default_load_balancer, DEFAULT_THRESHOLD
+
+__all__ = [
+    "LoadBalancer", "WorkEstimate", "ThreadMapped", "TWC", "LBPartitioned",
+    "Hybrid", "default_load_balancer", "DEFAULT_THRESHOLD",
+]

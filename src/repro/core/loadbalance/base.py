@@ -1,0 +1,59 @@
+"""Load-balance strategy interface (Section 4.4).
+
+Advance generates an irregular workload: each frontier vertex owns a
+neighbor list of arbitrary length.  A :class:`LoadBalancer` decides how
+that work maps onto CTAs and returns the per-CTA cycle-cost vector the
+machine's makespan model consumes.  The *semantics* of advance are
+identical under every strategy (the expansion arrays are computed once,
+vectorized); only cost and counters differ — exactly the paper's framing,
+where load balancing is "hidden from the programmer".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...simt.machine import GPUSpec
+
+
+@dataclass
+class WorkEstimate:
+    """What a strategy hands the machine for one advance launch."""
+
+    #: per-CTA cycle costs (makespan input)
+    cta_costs: np.ndarray
+    #: additional flat cycles (setup scans, sorted searches) — charged once
+    setup_cycles: float = 0.0
+
+
+class LoadBalancer(ABC):
+    """Maps a frontier's neighbor-list size vector onto CTA costs."""
+
+    #: short name used in kernel records and benchmark tables
+    name: str = "base"
+
+    @abstractmethod
+    def estimate(self, degrees: np.ndarray, spec: GPUSpec,
+                 per_edge_cycles: float, per_vertex_cycles: float) -> WorkEstimate:
+        """Compute the cost of advancing a frontier whose i-th vertex has
+        ``degrees[i]`` neighbors."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def pad_reshape(degrees: np.ndarray, tile: int) -> np.ndarray:
+    """Pad a degree vector with zeros to a multiple of ``tile`` and reshape
+    to ``(n_tiles, tile)`` — the vectorized form of 'assign a subset of the
+    frontier to a block'."""
+    degrees = np.asarray(degrees, dtype=np.int64)
+    n = len(degrees)
+    if n == 0:
+        return np.zeros((0, tile), dtype=np.int64)
+    n_tiles = -(-n // tile)
+    padded = np.zeros(n_tiles * tile, dtype=np.int64)
+    padded[:n] = degrees
+    return padded.reshape(n_tiles, tile)

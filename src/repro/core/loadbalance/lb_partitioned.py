@@ -1,0 +1,48 @@
+"""Load-balanced partitioning (Davidson et al., Fig. 3).
+
+Section 4.4's third strategy: scan the frontier's neighbor-list sizes,
+split the *edge* range into equal-length chunks, and assign one chunk per
+CTA.  Each CTA finds its starting row with a sorted search against the
+scanned offsets and recovers per-edge source vertices with binary search.
+The result is near-perfect balance within and across CTAs, at the price
+of a setup scan + sorted search and a per-edge binary-search tax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...simt import calib
+from ...simt.machine import GPUSpec
+from .base import LoadBalancer, WorkEstimate
+
+
+@dataclass
+class LBPartitioned(LoadBalancer):
+    """Equal-size edge chunks per CTA (scan + sorted search + binsearch)."""
+
+    #: edges assigned to each CTA chunk; Davidson uses a small multiple of
+    #: the CTA width so every thread owns a handful of edges
+    edges_per_cta: int = 1024
+    name: str = "lb_partitioned"
+
+    def estimate(self, degrees: np.ndarray, spec: GPUSpec,
+                 per_edge_cycles: float, per_vertex_cycles: float) -> WorkEstimate:
+        degrees = np.asarray(degrees, dtype=np.int64)
+        total_edges = int(degrees.sum())
+        n_vertices = len(degrees)
+        if total_edges == 0:
+            return WorkEstimate(np.zeros(0),
+                                setup_cycles=n_vertices * calib.C_SCAN_PER_ELEM)
+        n_ctas = -(-total_edges // self.edges_per_cta)
+        per_edge = per_edge_cycles + calib.C_BINSEARCH_PER_EDGE
+        cta_costs = np.full(n_ctas, self.edges_per_cta * per_edge,
+                            dtype=np.float64)
+        rem = total_edges - (n_ctas - 1) * self.edges_per_cta
+        cta_costs[-1] = rem * per_edge
+        # setup: scan the degree vector + one sorted search per CTA start
+        setup = (n_vertices * calib.C_SCAN_PER_ELEM
+                 + n_ctas * calib.C_SORTED_SEARCH / spec.num_sm)
+        return WorkEstimate(cta_costs, setup_cycles=setup)

@@ -1,0 +1,60 @@
+"""Hybrid strategy selection (Section 4.4, last paragraph).
+
+"In Gunrock we implement a hybrid of both methods ... using the
+per-thread fine-grained strategy for nodes with relatively smaller
+neighbor lists and the per-CTA coarse-grained strategy for nodes with
+relatively larger neighbor lists.  Gunrock sets a runtime threshold value
+for the neighbor count of the current frontier ... we set this value to
+4096 because it gives the best overall performance on all datasets we
+tested.  Users can also change this value easily in the Enactor module."
+
+:class:`Hybrid` dispatches per launch: frontiers whose total neighbor
+count is below the threshold use the fine-grained strategy (its setup
+cost is nil and small frontiers cannot saturate the chip anyway); larger
+frontiers use the coarse-grained load-balanced partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...simt.machine import GPUSpec
+from .base import LoadBalancer, WorkEstimate
+from .lb_partitioned import LBPartitioned
+from .thread_mapped import ThreadMapped
+
+#: the paper's default threshold on the frontier's total neighbor count
+DEFAULT_THRESHOLD = 4096
+
+
+@dataclass
+class Hybrid(LoadBalancer):
+    """Threshold dispatch between a fine- and a coarse-grained strategy."""
+
+    threshold: int = DEFAULT_THRESHOLD
+    fine: LoadBalancer = field(default_factory=ThreadMapped)
+    coarse: LoadBalancer = field(default_factory=LBPartitioned)
+    name: str = "hybrid"
+
+    #: set after each estimate() call — which arm ran (introspection/tests)
+    last_choice: Optional[str] = None
+
+    def estimate(self, degrees: np.ndarray, spec: GPUSpec,
+                 per_edge_cycles: float, per_vertex_cycles: float) -> WorkEstimate:
+        degrees = np.asarray(degrees, dtype=np.int64)
+        total = int(degrees.sum())
+        if total < self.threshold:
+            self.last_choice = self.fine.name
+            return self.fine.estimate(degrees, spec, per_edge_cycles,
+                                      per_vertex_cycles)
+        self.last_choice = self.coarse.name
+        return self.coarse.estimate(degrees, spec, per_edge_cycles,
+                                    per_vertex_cycles)
+
+
+def default_load_balancer() -> Hybrid:
+    """Gunrock's shipped configuration."""
+    return Hybrid()

@@ -1,0 +1,58 @@
+"""Per-thread fine-grained load balancing (Section 4.4, first strategy).
+
+One frontier vertex's neighbor list maps to one thread.  The naive form
+serializes each thread over its whole list, so a CTA's cost is the *max*
+list length among its threads (warp lockstep makes shorter lanes wait).
+
+Gunrock's improved form loads the list offsets into shared memory and has
+the CTA "cooperatively strip edges off the neighbor list", which balances
+work *within* a CTA — but "not across CTAs", which is why it loses on
+scale-free graphs.  Both forms are available; ``cooperative=True`` is what
+Gunrock ships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...simt.machine import GPUSpec
+from .base import LoadBalancer, WorkEstimate, pad_reshape
+
+
+@dataclass
+class ThreadMapped(LoadBalancer):
+    """Thread-per-vertex advance.
+
+    Parameters
+    ----------
+    cooperative:
+        When True (Gunrock's improvement), a CTA's threads cooperatively
+        strip the tile's edges, so its cost is the tile's *total* work
+        divided by the CTA width.  When False (naive), the cost is the
+        tile's *maximum* list length — warp lockstep at its worst.
+    """
+
+    cooperative: bool = True
+    name: str = "thread_mapped"
+
+    def estimate(self, degrees: np.ndarray, spec: GPUSpec,
+                 per_edge_cycles: float, per_vertex_cycles: float) -> WorkEstimate:
+        from ...simt import calib
+
+        tiles = pad_reshape(degrees, spec.cta_size)
+        if tiles.size == 0:
+            return WorkEstimate(np.zeros(0))
+        edge_work = tiles.sum(axis=1).astype(np.float64) * per_edge_cycles
+        if self.cooperative:
+            # CTA strips its tile's edges at full width: bandwidth-bound.
+            cta_costs = edge_work
+        else:
+            # Each thread serially walks its own list.  The CTA is done no
+            # sooner than its aggregate edge work, and no sooner than its
+            # longest list at the single-lane latency-bound rate — the
+            # term that collapses on hubs.
+            serial = tiles.max(axis=1).astype(np.float64) * calib.C_EDGE_SERIAL
+            cta_costs = np.maximum(edge_work, serial)
+        return WorkEstimate(cta_costs + per_vertex_cycles)

@@ -1,0 +1,70 @@
+"""Per-warp / per-CTA coarse-grained load balancing (Merrill et al.).
+
+Section 4.4's second strategy: neighbor lists are grouped into three size
+classes and each class is processed with a matching granularity —
+
+1. lists larger than a CTA: the owning thread arbitrates for the whole
+   block, which strips the list cooperatively (one CTA-wide round per
+   ``cta_size`` edges);
+2. lists between a warp and a CTA: processed per-warp;
+3. lists smaller than a warp: per-thread fine-grained, paying warp
+   lockstep (max list length within each warp).
+
+The three phases run sequentially inside each CTA — "higher throughput on
+frontiers with a high variance in degree distribution, but at the cost of
+higher overhead due to the sequential processing of the three different
+sizes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...simt.machine import GPUSpec
+from .base import LoadBalancer, WorkEstimate, pad_reshape
+
+#: per-CTA cycles of phase-switch overhead (arbitration, barriers)
+PHASE_OVERHEAD_CYCLES = 40.0
+
+
+@dataclass
+class TWC(LoadBalancer):
+    """Merrill-style thread/warp/CTA workload mapping."""
+
+    name: str = "twc"
+
+    def estimate(self, degrees: np.ndarray, spec: GPUSpec,
+                 per_edge_cycles: float, per_vertex_cycles: float) -> WorkEstimate:
+        tiles = pad_reshape(degrees, spec.cta_size)
+        if tiles.size == 0:
+            return WorkEstimate(np.zeros(0))
+        n_tiles = tiles.shape[0]
+        warps = tiles.reshape(n_tiles, spec.warps_per_cta, spec.warp_size)
+
+        large = tiles > spec.cta_size
+        medium = (tiles > spec.warp_size) & ~large
+        small_warp = np.where(warps <= spec.warp_size, warps, 0)
+
+        # Phase 1: whole-CTA strips of each large list — full width, so
+        # the cost is the (round-padded) edge count at the aggregate rate.
+        large_edges = np.where(
+            large, -(-tiles // spec.cta_size) * spec.cta_size, 0).sum(axis=1)
+
+        # Phase 2: medium lists are handed to warps; lists are padded to
+        # warp-width rounds and the CTA waits for its most-loaded warp
+        # (modeled as max of the even share and the biggest single list).
+        med_work = np.where(medium, -(-tiles // spec.warp_size), 0) * spec.warp_size
+        med_total = med_work.sum(axis=1)
+        med_peak = med_work.max(axis=1)
+        med_edges = np.maximum(med_total, med_peak * 2)  # mild skew penalty
+
+        # Phase 3: per-thread small lists; warp lockstep pads every lane
+        # to the warp's longest list.
+        small_edges = (small_warp.max(axis=2) * spec.warp_size).sum(axis=1)
+
+        edges = (large_edges + med_edges + small_edges).astype(np.float64)
+        cta_costs = (edges * per_edge_cycles
+                     + per_vertex_cycles + PHASE_OVERHEAD_CYCLES)
+        return WorkEstimate(cta_costs)

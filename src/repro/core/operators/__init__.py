@@ -1,0 +1,14 @@
+"""Gunrock's bulk-synchronous operators."""
+
+from .advance import advance, expand_push
+from .compute import compute, compute_masked
+from .filter import IdempotenceHeuristics, filter_frontier
+from .neighbor_reduce import neighbor_reduce
+from .priority_queue import NearFarPile, split_near_far
+from .sample import sample
+
+__all__ = [
+    "advance", "expand_push", "compute", "compute_masked",
+    "IdempotenceHeuristics", "filter_frontier", "neighbor_reduce",
+    "NearFarPile", "split_near_far", "sample",
+]

@@ -1,0 +1,212 @@
+"""The advance operator — Gunrock's workhorse (Sections 4.1 and 4.4).
+
+Advance visits the neighbors of the current frontier and produces a new
+frontier of vertices or edges, running the user's edge functor on every
+traversed edge.  It supports:
+
+* vertex or edge *input* frontiers, vertex or edge *output* frontiers;
+* **push** (scatter from the frontier) and **pull** (gather into the
+  unvisited set, Section 4.1.1) traversal;
+* **idempotent** operation (duplicates allowed in the output, deduped
+  cheaply by filter) or exact-dedup output;
+* pluggable load-balance strategies (Section 4.4) that determine the
+  simulated cost of the launch — semantics never change across
+  strategies.
+
+The whole expansion is one fused kernel: functor ``cond``/``apply`` run
+inside the advance launch (Section 4.3's kernel fusion), so each BSP step
+pays one launch overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...simt import calib
+from ..frontier import Frontier, FrontierKind
+from ..functor import Functor, resolve_masks
+from ..loadbalance import LoadBalancer, default_load_balancer
+from ..problem import ProblemBase
+
+
+def _frontier_vertices(problem: ProblemBase, frontier: Frontier) -> np.ndarray:
+    """The vertex set an advance expands from.
+
+    An edge frontier advances from the *destination* endpoints of its
+    edges (this is what gives Gunrock its 2-hop/bipartite traversals)."""
+    if frontier.kind is FrontierKind.VERTEX:
+        return frontier.items
+    return problem.graph.indices[frontier.items].astype(np.int64)
+
+
+def expand_push(problem: ProblemBase, source_vertices: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized CSR expansion: ``(srcs, dsts, edge_ids, degrees)``.
+
+    One output lane per traversed edge, in frontier order — the dense,
+    uniform workload the scan-based reorganization of Section 3 produces.
+    """
+    g = problem.graph
+    f = np.asarray(source_vertices, dtype=np.int64)
+    degs = g.degrees_of(f)
+    total = int(degs.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty, degs
+    offsets = np.concatenate([[0], np.cumsum(degs)])
+    starts = g.indptr[f]
+    eids = np.repeat(starts - offsets[:-1], degs) + np.arange(total, dtype=np.int64)
+    seg = np.repeat(np.arange(len(f), dtype=np.int64), degs)
+    srcs = f[seg]
+    dsts = g.indices[eids].astype(np.int64)
+    return srcs, dsts, eids, degs
+
+
+def _charge_advance(problem: ProblemBase, degs: np.ndarray, lb: LoadBalancer,
+                    name: str, n_edges: int, iteration: int) -> None:
+    machine = problem.machine
+    if machine is None:
+        return
+    per_edge = calib.C_EDGE + (0.0 if machine.hardwired else calib.C_FUNCTOR_PER_ELEM)
+    est = lb.estimate(degs, machine.spec, per_edge, calib.C_VERTEX)
+    machine.launch(f"{name}[{lb.name}]", est.cta_costs,
+                   body_cycles=est.setup_cycles, items=n_edges,
+                   iteration=iteration)
+    machine.counters.record_edges(n_edges)
+    machine.counters.record_vertices(len(degs))
+
+
+def advance(problem: ProblemBase, frontier: Frontier, functor: Functor,
+            *, output_kind: FrontierKind | str = FrontierKind.VERTEX,
+            mode: str = "push", lb: Optional[LoadBalancer] = None,
+            dedupe_output: bool = False, iteration: int = -1) -> Frontier:
+    """Run one advance step; returns the new frontier.
+
+    Parameters
+    ----------
+    mode:
+        ``"push"`` scatters from the frontier; ``"pull"`` gathers into the
+        problem's unvisited set (requires ``problem.unvisited_mask()``).
+    dedupe_output:
+        Exact duplicate removal on the output (the non-idempotent path
+        normally achieves uniqueness through functor atomics instead;
+        this flag is the sledgehammer for primitives that need it).
+    """
+    output_kind = FrontierKind(output_kind)
+    lb = lb if lb is not None else default_load_balancer()
+    if mode == "push":
+        out = _advance_push(problem, frontier, functor, output_kind, lb, iteration)
+    elif mode == "pull":
+        if output_kind is not FrontierKind.VERTEX:
+            raise ValueError("pull-based advance produces vertex frontiers")
+        out = _advance_pull(problem, frontier, functor, lb, iteration)
+    else:
+        raise ValueError(f"unknown advance mode {mode!r}")
+    if dedupe_output:
+        out = out.deduplicated(problem.machine)
+    if problem.machine is not None:
+        problem.machine.counters.record_frontier(len(out))
+    return out
+
+
+def _advance_push(problem: ProblemBase, frontier: Frontier, functor: Functor,
+                  output_kind: FrontierKind, lb: LoadBalancer,
+                  iteration: int) -> Frontier:
+    machine = problem.machine
+    f_vertices = _frontier_vertices(problem, frontier)
+    ctx = machine.fused(f"advance_push[{lb.name}]", iteration) if machine else None
+    if ctx is None:
+        return _push_body(problem, f_vertices, functor, output_kind, lb, iteration)
+    with ctx:
+        return _push_body(problem, f_vertices, functor, output_kind, lb, iteration)
+
+
+def _push_body(problem, f_vertices, functor, output_kind, lb, iteration):
+    srcs, dsts, eids, degs = expand_push(problem, f_vertices)
+    _charge_advance(problem, degs, lb, "advance_push", len(eids), iteration)
+    if len(eids) == 0:
+        return Frontier.empty(output_kind)
+    cond = functor.cond_edge(problem, srcs, dsts, eids)
+    keep = resolve_masks(len(eids), cond)
+    if not keep.all():
+        srcs, dsts, eids = srcs[keep], dsts[keep], eids[keep]
+    if len(eids) == 0:
+        return Frontier.empty(output_kind)
+    applied = functor.apply_edge(problem, srcs, dsts, eids)
+    keep = resolve_masks(len(eids), applied)
+    out_items = (dsts if output_kind is FrontierKind.VERTEX else eids)[keep]
+    return Frontier(out_items, output_kind)
+
+
+def _advance_pull(problem: ProblemBase, frontier: Frontier, functor: Functor,
+                  lb: LoadBalancer, iteration: int) -> Frontier:
+    """Pull traversal: start from the unvisited set and look *backwards*.
+
+    "Gunrock internally converts the current frontier into a bitmap of
+    vertices, generates a new frontier of all unvisited nodes, then uses
+    an advance step to 'pull' the computation from these nodes'
+    predecessors if they are valid in the bitmap." (Section 4.1.1)
+
+    Each unvisited vertex scans its in-neighbors and stops at the first
+    one present in the current frontier; the early exit is why pull wins
+    when the frontier covers most edges.
+    """
+    g = problem.graph
+    machine = problem.machine
+    rev = g.csc
+    in_frontier = frontier.to_bitmap(g.n, machine)
+    unvisited = np.flatnonzero(problem.unvisited_mask()).astype(np.int64)
+    if machine is not None:
+        # generating the unvisited frontier = one compaction over V
+        machine.map_kernel("pull_candidates", g.n, calib.C_COMPACT_PER_ELEM,
+                           iteration=iteration)
+    if len(unvisited) == 0:
+        return Frontier.empty(FrontierKind.VERTEX)
+
+    degs = rev.degrees_of(unvisited)
+    total = int(degs.sum())
+    if total == 0:
+        return Frontier.empty(FrontierKind.VERTEX)
+    offsets = np.concatenate([[0], np.cumsum(degs)])
+    starts = rev.indptr[unvisited]
+    eids = np.repeat(starts - offsets[:-1], degs) + np.arange(total, dtype=np.int64)
+    seg = np.repeat(np.arange(len(unvisited), dtype=np.int64), degs)
+    parents = rev.indices[eids].astype(np.int64)
+    hits = in_frontier[parents]
+
+    # First-hit position per segment (the lane where the serial scan stops).
+    pos_in_seg = np.arange(total, dtype=np.int64) - offsets[:-1][seg]
+    first_hit = np.full(len(unvisited), np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(first_hit, seg[hits], pos_in_seg[hits])
+    found = first_hit != np.iinfo(np.int64).max
+    # Edges actually examined: up to and including the first hit, or the
+    # whole list when no parent is in the frontier.
+    examined = np.where(found, first_hit + 1, degs)
+    if machine is not None:
+        per_edge = calib.C_EDGE * calib.SCATTER_PENALTY * 0.5 \
+            + (0.0 if machine.hardwired else calib.C_FUNCTOR_PER_ELEM)
+        est = lb.estimate(examined, machine.spec, per_edge, calib.C_VERTEX)
+        machine.launch(f"advance_pull[{lb.name}]", est.cta_costs,
+                       body_cycles=est.setup_cycles, items=int(examined.sum()),
+                       iteration=iteration)
+        machine.counters.record_edges(int(examined.sum()))
+        machine.counters.record_vertices(len(unvisited))
+
+    if not found.any():
+        return Frontier.empty(FrontierKind.VERTEX)
+    winners = np.flatnonzero(found)
+    child = unvisited[winners]
+    win_edge = (starts[winners] + first_hit[winners])
+    parent = rev.indices[win_edge].astype(np.int64)
+    orig_eid = rev.edge_props["orig_edge"][win_edge]
+
+    cond = functor.cond_edge(problem, parent, child, orig_eid)
+    keep = resolve_masks(len(child), cond)
+    parent, child, orig_eid = parent[keep], child[keep], orig_eid[keep]
+    if len(child) == 0:
+        return Frontier.empty(FrontierKind.VERTEX)
+    applied = functor.apply_edge(problem, parent, child, orig_eid)
+    keep = resolve_masks(len(child), applied)
+    return Frontier(child[keep], FrontierKind.VERTEX)

@@ -1,0 +1,188 @@
+"""The filter operator (Section 4.1) and the idempotence heuristics.
+
+Filter chooses a subset of the current frontier by programmer-specified
+criteria (the vertex functor's ``cond``), running ``apply`` on survivors
+and compacting them with a scan — "using parallel scan for efficient
+filtering is well-understood on GPUs".
+
+For idempotent primitives (BFS), filter additionally runs "a series of
+inexpensive heuristics to reduce, but not eliminate, redundant entries in
+the output frontier" (Section 4.1.1).  We implement the two classic
+heuristics from Merrill et al. that Gunrock adopted:
+
+* **warp culling** — threads in a warp compare their items through shared
+  memory and drop exact duplicates within the warp;
+* **history culling** — a small hash table remembers recently admitted
+  items; an item that hashes onto itself is dropped.  Collisions between
+  *different* items keep both (that is what makes it a heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...simt import calib
+from ...simt.machine import Machine
+from ..frontier import Frontier
+from ..functor import Functor, resolve_masks
+from ..problem import ProblemBase
+
+
+@dataclass
+class IdempotenceHeuristics:
+    """Persistent state for the cheap-dedup heuristics.
+
+    One instance lives per enactor run (Gunrock keeps the history hash in
+    the problem's device storage).  ``history_bits`` sets the hash size;
+    the default 16 bits (64K slots) matches b40c's history texture.
+    """
+
+    history_bits: int = 16
+    warp_size: int = 32
+    _history: Optional[np.ndarray] = field(default=None, repr=False)
+    _discovered: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def history_size(self) -> int:
+        return 1 << self.history_bits
+
+    def _ensure(self) -> np.ndarray:
+        if self._history is None:
+            self._history = np.full(self.history_size, -1, dtype=np.int64)
+        return self._history
+
+    def bitmask_cull(self, items: np.ndarray, n: int) -> np.ndarray:
+        """b40c's global visited bitmask: exact per-vertex, but racy
+        within a wave of in-flight lanes — duplicates in the same wave all
+        pass, later waves see the set bit and drop.  This is the cull that
+        keeps same-level duplicate multiplicity from compounding across
+        levels on high-diameter graphs."""
+        if self._discovered is None or len(self._discovered) < n:
+            self._discovered = np.zeros(n, dtype=bool)
+        disc = self._discovered
+        keep = np.ones(len(items), dtype=bool)
+        for start in range(0, len(items), self.wave_size):
+            chunk = items[start:start + self.wave_size]
+            k = ~disc[chunk]
+            keep[start:start + self.wave_size] = k
+            disc[chunk[k]] = True
+        return keep
+
+    def warp_cull(self, items: np.ndarray) -> np.ndarray:
+        """Mask of items surviving within-warp duplicate elimination."""
+        n = len(items)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        warp_ids = np.arange(n, dtype=np.int64) // self.warp_size
+        # composite key (warp, item): the first lane of each duplicate run
+        # inside a warp survives
+        key = warp_ids * (items.max() + 1) + items
+        keep = np.zeros(n, dtype=bool)
+        _, first = np.unique(key, return_index=True)
+        keep[first] = True
+        return keep
+
+    #: lanes whose culling probes genuinely race (one dispatch batch);
+    #: writes from one wave are visible to the next — the intra-kernel
+    #: visibility that makes b40c's bitmask/history culls effective
+    #: against same-level duplicates
+    wave_size: int = 1024
+
+    def history_cull(self, items: np.ndarray) -> np.ndarray:
+        """Mask of items surviving the history-hash test; admitted items
+        are written back so later duplicates get dropped.
+
+        Processing happens wave by wave: duplicates *within* a wave race
+        and all survive (the "reduce, but not eliminate" of Section
+        4.1.1), while duplicates in later waves see the earlier write and
+        die.  A pure pre-kernel-snapshot reading would let same-level
+        duplicates multiply geometrically on high-diameter graphs.
+        """
+        n = len(items)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        history = self._ensure()
+        mask = self.history_size - 1
+        keep = np.ones(n, dtype=bool)
+        for start in range(0, n, self.wave_size):
+            chunk = items[start:start + self.wave_size]
+            slots = chunk & mask
+            k = history[slots] != chunk
+            keep[start:start + self.wave_size] = k
+            history[slots[k]] = chunk[k]
+        return keep
+
+    def reset(self) -> None:
+        self._history = None
+        self._discovered = None
+
+
+def filter_frontier(problem: ProblemBase, frontier: Frontier, functor: Functor,
+                    *, heuristics: Optional[IdempotenceHeuristics] = None,
+                    iteration: int = -1) -> Frontier:
+    """Run one filter step; returns the compacted new frontier.
+
+    The functor's ``cond_vertex`` (or ``cond_edge`` for edge frontiers,
+    receiving the edge's endpoints) decides admission; ``apply_vertex``
+    runs on admitted elements inside the same fused kernel.
+    """
+    machine = problem.machine
+    items = frontier.items
+    n = len(items)
+    ctx = machine.fused("filter", iteration) if machine else None
+    if ctx is None:
+        return _filter_body(problem, frontier, functor, heuristics, machine)
+    with ctx:
+        out = _filter_body(problem, frontier, functor, heuristics, machine)
+    machine.counters.record_frontier(len(out))
+    machine.counters.record_vertices(n)
+    return out
+
+
+def _filter_body(problem, frontier, functor, heuristics, machine: Optional[Machine]):
+    from ..frontier import FrontierKind
+
+    items = frontier.items
+    n = len(items)
+    if n == 0:
+        return Frontier.empty(frontier.kind)
+
+    keep = np.ones(n, dtype=bool)
+    if heuristics is not None and frontier.kind is FrontierKind.VERTEX:
+        keep &= heuristics.warp_cull(items)
+        keep &= heuristics.bitmask_cull(items, problem.graph.n)
+        keep &= heuristics.history_cull(items)
+        if machine is not None:
+            # three shared-memory/texture/bitmask probes per element
+            machine.map_kernel("filter_heuristics", n, 3.0)
+
+    if frontier.kind is FrontierKind.VERTEX:
+        cond = functor.cond_vertex(problem, items)
+    else:
+        g = problem.graph
+        cond = functor.cond_edge(problem,
+                                 g.edge_sources[items].astype(np.int64),
+                                 g.indices[items].astype(np.int64),
+                                 items)
+    keep &= resolve_masks(n, cond)
+
+    survivors = items[keep]
+    if len(survivors):
+        if frontier.kind is FrontierKind.VERTEX:
+            applied = functor.apply_vertex(problem, survivors)
+        else:
+            g = problem.graph
+            applied = functor.apply_edge(problem,
+                                         g.edge_sources[survivors].astype(np.int64),
+                                         g.indices[survivors].astype(np.int64),
+                                         survivors)
+        mask2 = resolve_masks(len(survivors), applied)
+        survivors = survivors[mask2]
+    if machine is not None:
+        # the scan+scatter compaction pass over the input frontier
+        machine.counters.compact_elements += n
+        machine.map_kernel("compact", n, calib.C_COMPACT_PER_ELEM)
+    return Frontier(survivors, frontier.kind)

@@ -1,0 +1,41 @@
+"""Frontier sampling — the paper's second Section 7 future-work operator.
+
+"We also expect to explore a 'sample' step that can take a random
+subsample of a frontier, which we can use to compute a rough or seeded
+solution that may allow faster convergence on a full graph."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...simt import calib
+from ..frontier import Frontier
+from ..problem import ProblemBase
+
+
+def sample(problem: ProblemBase, frontier: Frontier, fraction: float,
+           *, rng: Optional[np.random.Generator] = None, seed: int = 0,
+           min_size: int = 1, iteration: int = -1) -> Frontier:
+    """Uniformly subsample a frontier to ``fraction`` of its size.
+
+    Deterministic given ``seed`` (or pass an explicit generator to share
+    randomness streams across steps).  Never returns fewer than
+    ``min_size`` elements while the input has that many.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    items = frontier.items
+    n = len(items)
+    if n == 0 or fraction == 1.0:
+        return frontier
+    rng = np.random.default_rng(seed) if rng is None else rng
+    k = max(min(min_size, n), int(round(n * fraction)))
+    picked = rng.choice(n, size=k, replace=False)
+    picked.sort()  # keep frontier order stable for determinism downstream
+    if problem.machine is not None:
+        problem.machine.map_kernel("sample", n, calib.C_COMPACT_PER_ELEM,
+                                   iteration=iteration)
+    return Frontier(items[picked], frontier.kind)

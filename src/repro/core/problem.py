@@ -1,0 +1,84 @@
+"""Problem base class — Gunrock's algorithm-state container.
+
+"Gunrock programs specify three components: the Problem, which provides
+graph topology data and an algorithm-specific data management interface;
+the functors ...; and an enactor" (Section 4.3).
+
+A Problem owns the graph, the (optional) simulated machine, and named
+per-vertex / per-edge SoA arrays registered through
+:meth:`ProblemBase.add_vertex_array` / :meth:`add_edge_array`.  The
+registration API exists so the memory-footprint audit (Section 6:
+"data size is alpha|E| + beta|V|") can enumerate exactly what a primitive
+allocates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graph.csr import Csr
+from ..simt.machine import Machine
+
+
+class ProblemBase:
+    """Graph + machine + named SoA state arrays."""
+
+    def __init__(self, graph: Csr, machine: Optional[Machine] = None):
+        self.graph = graph
+        self.machine = machine
+        self._vertex_arrays: Dict[str, np.ndarray] = {}
+        self._edge_arrays: Dict[str, np.ndarray] = {}
+
+    # -- data management -------------------------------------------------------
+
+    def add_vertex_array(self, name: str, dtype, fill) -> np.ndarray:
+        """Allocate and register an ``(n,)`` per-vertex array."""
+        arr = np.full(self.graph.n, fill, dtype=dtype)
+        self._vertex_arrays[name] = arr
+        setattr(self, name, arr)
+        return arr
+
+    def add_edge_array(self, name: str, dtype, fill) -> np.ndarray:
+        """Allocate and register an ``(m,)`` per-edge array."""
+        arr = np.full(self.graph.m, fill, dtype=dtype)
+        self._edge_arrays[name] = arr
+        setattr(self, name, arr)
+        return arr
+
+    # -- memory audit ------------------------------------------------------------
+
+    def state_nbytes(self) -> int:
+        """Bytes of algorithm state (excludes the topology itself)."""
+        return sum(a.nbytes for a in self._vertex_arrays.values()) + \
+            sum(a.nbytes for a in self._edge_arrays.values())
+
+    def footprint_coefficients(self) -> Dict[str, float]:
+        """The paper's (alpha, beta): per-edge and per-vertex *elements*.
+
+        alpha counts 4-byte-equivalent elements per edge, beta per vertex
+        — comparable to Section 6's "alpha is usually 1 and at most 3,
+        beta is between 2 and 8".
+        """
+        v_bytes = sum(a.nbytes for a in self._vertex_arrays.values())
+        e_bytes = sum(a.nbytes for a in self._edge_arrays.values())
+        n = max(1, self.graph.n)
+        m = max(1, self.graph.m)
+        return {"alpha": e_bytes / m / 4.0, "beta": v_bytes / n / 4.0}
+
+    # -- hooks the operators may use ------------------------------------------------
+
+    def unvisited_mask(self) -> np.ndarray:
+        """Dense mask of vertices not yet finalized.
+
+        Pull-based advance (Section 4.1.1) generates its candidate
+        frontier from this; problems that support pull must override.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define unvisited_mask(); "
+            "pull-based advance requires it")
+
+    def reset(self) -> None:  # pragma: no cover - overridden by subclasses
+        """Re-initialize state so the problem can be enacted again."""
+        raise NotImplementedError

@@ -1,0 +1,131 @@
+"""Common interface for the comparison frameworks of Section 6.
+
+Each comparator is a faithful mini-reimplementation of the corresponding
+system's *abstraction* (serial BGL, Ligra edgeMap/vertexMap, PowerGraph
+GAS with vertex-cut, Medusa message passing, MapGraph unfused GAS,
+hardwired CUDA codes) plus a cost model matched to where that system
+spends time.  Results are always real algorithm outputs, validated in
+tests against the Gunrock primitives; ``runtime_ms`` is the modeled time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..graph.csr import Csr
+from ..simt import calib
+
+
+class Unsupported(NotImplementedError):
+    """Raised when a framework does not implement a primitive — rendered
+    as the paper's '—' cells in Table 2."""
+
+
+@dataclass
+class FrameworkResult:
+    """Output arrays + modeled runtime for one framework/primitive run."""
+
+    framework: str
+    primitive: str
+    runtime_ms: float
+    arrays: Dict[str, Any] = field(default_factory=dict)
+    iterations: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, key: str):
+        return self.arrays[key]
+
+    def mteps(self, edges: int) -> float:
+        """Edge throughput against a caller-supplied |E| (Table 2 style)."""
+        if self.runtime_ms <= 0:
+            return float("inf")
+        return edges / (self.runtime_ms * 1e-3) / 1e6
+
+
+@dataclass
+class CpuCost:
+    """Work accumulator for CPU-side comparators (cycles by category)."""
+
+    seq_edges: float = 0.0      # cache-friendly sequential edge touches
+    rand_edges: float = 0.0     # random-access edge touches
+    vertices: float = 0.0       # per-vertex bookkeeping ops
+    heap_ops: float = 0.0       # already includes the log factor
+    supersteps: int = 0
+    extra_cycles: float = 0.0
+
+    def cycles(self) -> float:
+        return (self.seq_edges * calib.CPU_EDGE
+                + self.rand_edges * calib.CPU_EDGE_RANDOM
+                + self.vertices * calib.CPU_VERTEX
+                + self.heap_ops * calib.CPU_HEAP_OP
+                + self.extra_cycles)
+
+    def serial_ms(self) -> float:
+        """Single-threaded time (the BGL model)."""
+        return calib.cpu_cycles_to_ms(self.cycles())
+
+    def parallel_ms(self, cores: Optional[int] = None,
+                    per_step_overhead_cycles: float = 0.0) -> float:
+        """Multicore time: work / effective cores + per-super-step span."""
+        eff = (calib.CPU_CORES if cores is None else cores) * calib.CPU_HT_YIELD
+        span = self.supersteps * per_step_overhead_cycles
+        return calib.cpu_cycles_to_ms(self.cycles() / eff + span)
+
+
+class Framework(ABC):
+    """A named comparator offering some subset of the five primitives.
+
+    Subclasses override the primitives they support; the base raises
+    :class:`Unsupported`, which the benchmark harness renders as '—'.
+    """
+
+    name: str = "base"
+
+    def bfs(self, graph: Csr, src: int) -> FrameworkResult:
+        raise Unsupported(f"{self.name} does not implement BFS")
+
+    def sssp(self, graph: Csr, src: int) -> FrameworkResult:
+        raise Unsupported(f"{self.name} does not implement SSSP")
+
+    def bc(self, graph: Csr, src: int) -> FrameworkResult:
+        raise Unsupported(f"{self.name} does not implement BC")
+
+    def pagerank(self, graph: Csr, max_iterations: Optional[int] = None,
+                 **kwargs) -> FrameworkResult:
+        raise Unsupported(f"{self.name} does not implement PageRank")
+
+    def cc(self, graph: Csr) -> FrameworkResult:
+        raise Unsupported(f"{self.name} does not implement CC")
+
+    def run(self, primitive: str, graph: Csr, src: int = 0,
+            **kwargs) -> FrameworkResult:
+        """Dispatch by primitive name ('bfs'/'sssp'/'bc'/'pagerank'/'cc')."""
+        if primitive in ("bfs", "sssp", "bc"):
+            return getattr(self, primitive)(graph, src, **kwargs)
+        if primitive == "pagerank":
+            return self.pagerank(graph, **kwargs)
+        if primitive == "cc":
+            return self.cc(graph, **kwargs)
+        raise ValueError(f"unknown primitive {primitive!r}")
+
+
+def expand_frontier(graph: Csr, frontier: np.ndarray):
+    """Shared vectorized CSR expansion for the CPU comparators.
+
+    Returns ``(srcs, dsts, eids)`` — duplicated logic with the core kept
+    deliberately separate so comparators do not depend on Gunrock's core.
+    """
+    f = np.asarray(frontier, dtype=np.int64)
+    degs = (graph.indptr[f + 1] - graph.indptr[f]).astype(np.int64)
+    total = int(degs.sum())
+    if total == 0:
+        e = np.zeros(0, dtype=np.int64)
+        return e, e, e
+    offsets = np.concatenate([[0], np.cumsum(degs)])
+    eids = np.repeat(graph.indptr[f] - offsets[:-1], degs) + np.arange(total)
+    seg = np.repeat(np.arange(len(f)), degs)
+    return f[seg], graph.indices[eids].astype(np.int64), eids

@@ -1,0 +1,54 @@
+"""Gunrock itself, wrapped in the comparator interface for the harness."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graph.csr import Csr
+from ..simt.machine import Machine
+from ..primitives import bfs as _bfs, sssp as _sssp, bc as _bc, \
+    pagerank as _pagerank, cc as _cc
+from .base import Framework, FrameworkResult
+
+
+class GunrockFramework(Framework):
+    """The system under evaluation, in its best shipped configuration:
+    hybrid load balancing, direction-optimized idempotent BFS, near/far
+    SSSP."""
+
+    name = "Gunrock"
+
+    def bfs(self, graph: Csr, src: int) -> FrameworkResult:
+        r = _bfs(graph, src, machine=Machine(), idempotent=True,
+                 direction="auto", record_preds=False)
+        return FrameworkResult(self.name, "bfs", r.elapsed_ms,
+                               arrays={"labels": r.labels},
+                               iterations=r.iterations)
+
+    def sssp(self, graph: Csr, src: int) -> FrameworkResult:
+        r = _sssp(graph, src, machine=Machine(), use_priority_queue=True)
+        return FrameworkResult(self.name, "sssp", r.elapsed_ms,
+                               arrays={"labels": r.labels, "preds": r.preds},
+                               iterations=r.iterations)
+
+    def bc(self, graph: Csr, src: int) -> FrameworkResult:
+        r = _bc(graph, src, machine=Machine())
+        return FrameworkResult(self.name, "bc", r.elapsed_ms,
+                               arrays={"bc_values": r.bc_values,
+                                       "sigma": r.sigma, "labels": r.labels},
+                               iterations=r.iterations)
+
+    def pagerank(self, graph: Csr, max_iterations: Optional[int] = None,
+                 tolerance: Optional[float] = None) -> FrameworkResult:
+        r = _pagerank(graph, machine=Machine(), tolerance=tolerance,
+                      max_iterations=1000 if max_iterations is None
+                      else max_iterations)
+        return FrameworkResult(self.name, "pagerank", r.elapsed_ms,
+                               arrays={"rank": r.rank},
+                               iterations=r.iterations)
+
+    def cc(self, graph: Csr) -> FrameworkResult:
+        r = _cc(graph, machine=Machine())
+        return FrameworkResult(self.name, "cc", r.elapsed_ms,
+                               arrays={"component_ids": r.component_ids},
+                               iterations=r.iterations)

@@ -1,0 +1,217 @@
+"""Shared-memory multicore comparator — the Ligra stand-in.
+
+Ligra (Shun & Blelloch) is built from two operators: ``edgeMap``
+(apply an update along the out-edges of a frontier, with automatic
+switching between a sparse/push and a dense/pull representation) and
+``vertexMap``.  "Ligra's load-balancing strategy is based on CilkPlus"
+(Section 4.2) and it runs Bellman-Ford for SSSP since it permits negative
+weights.
+
+Cost model: total work divided across ``CPU_CORES`` hyperthreaded cores
+plus a per-super-step fork/join span in Cilk task overhead — the paper's
+testbed used both CPUs "effectively".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..graph.csr import Csr
+from ..simt import calib
+from .base import CpuCost, Framework, FrameworkResult, expand_frontier
+
+#: per-super-step fork/join + barrier cost, in cycles
+STEP_SPAN_CYCLES = 25_000.0
+
+#: Ligra's dense/sparse switch: go dense when |F| + outdeg(F) > m / 20
+DENSE_THRESHOLD_FRACTION = 20
+
+
+class LigraEngine:
+    """edgeMap / vertexMap with dense-sparse representation switching."""
+
+    def __init__(self, graph: Csr):
+        self.graph = graph
+        self.cost = CpuCost()
+
+    def edge_map(self, frontier: np.ndarray,
+                 update: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+                 cond: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        """Apply ``update(srcs, dsts, eids) -> admitted mask`` over the
+        frontier's out-edges; ``cond(dsts)`` pre-filters targets.
+
+        Returns the new frontier (unique destination ids).  Chooses the
+        dense (pull over all vertices, early-exit modeled) or sparse
+        (push) traversal exactly as Ligra's threshold does.
+        """
+        g = self.graph
+        self.cost.supersteps += 1
+        out_deg = int(g.degrees_of(frontier).sum())
+        dense = (len(frontier) + out_deg) > g.m // DENSE_THRESHOLD_FRACTION
+        srcs, dsts, eids = expand_frontier(g, frontier)
+        if dense:
+            # dense mode scans candidate targets' in-edges; work is bounded
+            # by m but saves the random scatter
+            self.cost.seq_edges += min(g.m, 2 * len(dsts))
+            self.cost.vertices += g.n
+        else:
+            self.cost.seq_edges += len(dsts)
+            self.cost.rand_edges += len(dsts)
+            self.cost.vertices += len(frontier)
+        keep = cond(dsts)
+        srcs, dsts, eids = srcs[keep], dsts[keep], eids[keep]
+        admitted = update(srcs, dsts, eids)
+        return np.unique(dsts[admitted])
+
+    def vertex_map(self, frontier: np.ndarray,
+                   fn: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        """Apply ``fn`` over frontier vertices; returns kept subset."""
+        self.cost.vertices += len(frontier)
+        keep = fn(frontier)
+        return frontier[keep]
+
+    def elapsed_ms(self) -> float:
+        return self.cost.parallel_ms(per_step_overhead_cycles=STEP_SPAN_CYCLES
+                                     + calib.CILK_TASK_CYCLES * calib.CPU_CORES)
+
+
+class LigraFramework(Framework):
+    """Multicore shared-memory baseline."""
+
+    name = "Ligra"
+
+    def bfs(self, graph: Csr, src: int) -> FrameworkResult:
+        eng = LigraEngine(graph)
+        labels = np.full(graph.n, -1, dtype=np.int64)
+        labels[src] = 0
+        frontier = np.array([src], dtype=np.int64)
+        depth = 0
+        while len(frontier):
+            depth += 1
+            d = depth
+
+            def update(s, t, e, d=d):
+                labels[t] = d
+                return np.ones(len(t), dtype=bool)
+
+            frontier = eng.edge_map(frontier, update,
+                                    cond=lambda t: labels[t] < 0)
+        return FrameworkResult(self.name, "bfs", eng.elapsed_ms(),
+                               arrays={"labels": labels}, iterations=depth,
+                               detail={"cycles": eng.cost.cycles()})
+
+    def sssp(self, graph: Csr, src: int) -> FrameworkResult:
+        """Bellman-Ford, Ligra's formulation (Section 4.2)."""
+        eng = LigraEngine(graph)
+        w = graph.weight_or_ones()
+        dist = np.full(graph.n, np.inf)
+        dist[src] = 0.0
+        frontier = np.array([src], dtype=np.int64)
+        rounds = 0
+        while len(frontier) and rounds <= graph.n:
+            rounds += 1
+
+            def update(s, t, e):
+                new = dist[s] + w[e]
+                old = dist[t]
+                np.minimum.at(dist, t, new)
+                return new < old
+
+            frontier = eng.edge_map(frontier, update,
+                                    cond=lambda t: np.ones(len(t), dtype=bool))
+        return FrameworkResult(self.name, "sssp", eng.elapsed_ms(),
+                               arrays={"labels": dist}, iterations=rounds,
+                               detail={"cycles": eng.cost.cycles()})
+
+    def bc(self, graph: Csr, src: int) -> FrameworkResult:
+        eng = LigraEngine(graph)
+        labels = np.full(graph.n, -1, dtype=np.int64)
+        sigma = np.zeros(graph.n)
+        delta = np.zeros(graph.n)
+        labels[src] = 0
+        sigma[src] = 1.0
+        frontier = np.array([src], dtype=np.int64)
+        stack = []
+        depth = 0
+        while len(frontier):
+            depth += 1
+            d = depth
+
+            def fwd(s, t, e, d=d):
+                np.add.at(sigma, t, sigma[s])
+                labels[t] = d
+                return np.ones(len(t), dtype=bool)
+
+            frontier = eng.edge_map(frontier, fwd, cond=lambda t: labels[t] < 0)
+            if len(frontier):
+                stack.append(frontier)
+        for frontier in reversed(stack):
+            def bwd(s, t, e):
+                mask = labels[t] == labels[s] + 1
+                np.add.at(delta, s[mask], sigma[s[mask]] / sigma[t[mask]]
+                          * (1.0 + delta[t[mask]]))
+                return np.zeros(len(t), dtype=bool)
+
+            eng.edge_map(frontier, bwd, cond=lambda t: np.ones(len(t), dtype=bool))
+        bc_values = delta.copy()
+        bc_values[src] = 0.0
+        return FrameworkResult(self.name, "bc", eng.elapsed_ms(),
+                               arrays={"bc_values": bc_values, "sigma": sigma,
+                                       "labels": labels},
+                               iterations=depth,
+                               detail={"cycles": eng.cost.cycles()})
+
+    def pagerank(self, graph: Csr, max_iterations: Optional[int] = None,
+                 damping: float = 0.85,
+                 tolerance: Optional[float] = None) -> FrameworkResult:
+        """Power iteration over edgeMap (the paper times Ligra's PR for a
+        single iteration; pass ``max_iterations=1`` to match)."""
+        eng = LigraEngine(graph)
+        n = max(1, graph.n)
+        tol = (0.01 / n) if tolerance is None else tolerance
+        limit = 1000 if max_iterations is None else max_iterations
+        out_deg = np.maximum(graph.out_degrees, 1).astype(np.float64)
+        rank = np.full(graph.n, 1.0 / n)
+        all_v = np.arange(graph.n, dtype=np.int64)
+        iters = 0
+        for _ in range(limit):
+            iters += 1
+            nxt = np.zeros(graph.n)
+
+            def update(s, t, e):
+                np.add.at(nxt, t, rank[s] / out_deg[s])
+                return np.zeros(len(t), dtype=bool)
+
+            eng.edge_map(all_v, update, cond=lambda t: np.ones(len(t), dtype=bool))
+            new_rank = (1.0 - damping) / n + damping * nxt
+            delta = np.abs(new_rank - rank).max()
+            rank = new_rank
+            if delta < tol:
+                break
+        return FrameworkResult(self.name, "pagerank", eng.elapsed_ms(),
+                               arrays={"rank": rank}, iterations=iters,
+                               detail={"cycles": eng.cost.cycles()})
+
+    def cc(self, graph: Csr) -> FrameworkResult:
+        """Label propagation CC (Ligra's components example) — rounds scale
+        with component diameter, which is what makes the bitcoin row slow."""
+        eng = LigraEngine(graph)
+        ids = np.arange(graph.n, dtype=np.int64)
+        frontier = np.arange(graph.n, dtype=np.int64)
+        rounds = 0
+        while len(frontier):
+            rounds += 1
+
+            def update(s, t, e):
+                new = ids[s]
+                old = ids[t]
+                np.minimum.at(ids, t, new)
+                return new < old
+
+            frontier = eng.edge_map(frontier, update,
+                                    cond=lambda t: np.ones(len(t), dtype=bool))
+        return FrameworkResult(self.name, "cc", eng.elapsed_ms(),
+                               arrays={"component_ids": ids}, iterations=rounds,
+                               detail={"cycles": eng.cost.cycles()})

@@ -1,0 +1,171 @@
+"""GPU message-passing comparator — the Medusa stand-in.
+
+Medusa (Zhong & He) programs GPUs through fine-grained APIs on edges,
+vertices, and *messages*: an EdgeProcessor sends a message along each
+edge, a segmented-reduction Combiner folds messages per destination, and
+a VertexProcessor consumes them.  The paper's critique (Section 4.5):
+"the overhead of any management of messages is a significant contributor
+to runtime", plus "severe load imbalance" from its fixed segmented-
+reduction frontier construction and its thread-per-vertex processing.
+
+Accordingly the engine runs on the simulated GPU with: a per-message
+buffer cost (``C_MESSAGE``), the *naive* (non-cooperative) thread-mapped
+load balancer, and four unfused kernels per super-step (send, combine,
+vertex, frontier build).  No direction optimization, no idempotence
+tricks, no priority queue — none exist in Medusa.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..graph.csr import Csr
+from ..simt import calib
+from ..simt.machine import Machine
+from ..core.loadbalance import ThreadMapped
+from .base import Framework, FrameworkResult, expand_frontier
+
+_NAIVE_LB = ThreadMapped(cooperative=False)
+
+
+class MedusaEngine:
+    """send-messages / combine / vertex-process super-steps."""
+
+    def __init__(self, graph: Csr, machine: Optional[Machine] = None):
+        self.graph = graph
+        self.machine = machine if machine is not None else Machine()
+        self.supersteps = 0
+
+    def superstep(self, frontier: np.ndarray,
+                  message_fn: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+                  combine: str,
+                  vertex_fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+                  ) -> np.ndarray:
+        """One BSP round: messages along frontier out-edges, combined per
+        destination, consumed by a vertex processor.
+
+        Returns the new frontier: destinations whose ``vertex_fn`` mask is
+        True.  ``combine`` is 'min' or 'sum'.
+        """
+        g = self.graph
+        m = self.machine
+        self.supersteps += 1
+        srcs, dsts, eids = expand_frontier(g, frontier)
+        degs = g.degrees_of(frontier)
+
+        # kernel 1: EdgeProcessor — send one message per edge
+        est = _NAIVE_LB.estimate(degs, m.spec,
+                                 calib.C_EDGE + calib.C_MESSAGE, calib.C_VERTEX)
+        m.launch("medusa_send", est.cta_costs, body_cycles=est.setup_cycles,
+                 items=len(eids))
+        m.counters.record_edges(len(eids))
+        msgs = message_fn(srcs, dsts, eids) if len(eids) else np.zeros(0)
+
+        # kernel 2: Combiner — segmented reduction over the message buffer
+        m.launch("medusa_combine",
+                 body_cycles=len(eids) * (calib.C_SCAN_PER_ELEM * 0.5
+                                          + calib.C_MESSAGE * 0.5),
+                 items=len(eids))
+        targets = np.unique(dsts)
+        combined = np.full(len(targets), np.inf if combine == "min" else 0.0)
+        pos = np.searchsorted(targets, dsts)
+        if combine == "min":
+            np.minimum.at(combined, pos, msgs)
+        elif combine == "sum":
+            np.add.at(combined, pos, msgs)
+        else:
+            raise ValueError(f"unknown combiner {combine!r}")
+
+        # kernel 3: VertexProcessor — thread per destination vertex
+        m.map_kernel("medusa_vertex", len(targets), calib.C_VERTEX * 2)
+        changed = vertex_fn(targets, combined) if len(targets) else \
+            np.zeros(0, dtype=bool)
+
+        # kernel 4: frontier construction via segmented reduction
+        m.map_kernel("medusa_frontier", len(targets), calib.C_COMPACT_PER_ELEM)
+        return targets[changed]
+
+    def elapsed_ms(self) -> float:
+        return self.machine.elapsed_ms()
+
+
+class MedusaFramework(Framework):
+    """Message-passing GPU baseline (BFS / SSSP / PageRank, as in Table 2)."""
+
+    name = "Medusa"
+
+    def bfs(self, graph: Csr, src: int) -> FrameworkResult:
+        eng = MedusaEngine(graph)
+        labels = np.full(graph.n, -1, dtype=np.int64)
+        labels[src] = 0
+        frontier = np.array([src], dtype=np.int64)
+        depth = 0
+        while len(frontier):
+            depth += 1
+            d = depth
+
+            def message(s, t, e):
+                return np.full(len(s), float(d))
+
+            def vertex(v, msg, d=d):
+                fresh = labels[v] < 0
+                labels[v[fresh]] = d
+                return fresh
+
+            frontier = eng.superstep(frontier, message, "min", vertex)
+        return FrameworkResult(self.name, "bfs", eng.elapsed_ms(),
+                               arrays={"labels": labels}, iterations=depth)
+
+    def sssp(self, graph: Csr, src: int) -> FrameworkResult:
+        eng = MedusaEngine(graph)
+        w = graph.weight_or_ones()
+        dist = np.full(graph.n, np.inf)
+        dist[src] = 0.0
+        frontier = np.array([src], dtype=np.int64)
+        rounds = 0
+        while len(frontier) and rounds <= graph.n:
+            rounds += 1
+
+            def message(s, t, e):
+                return dist[s] + w[e]
+
+            def vertex(v, msg):
+                better = msg < dist[v]
+                dist[v[better]] = msg[better]
+                return better
+
+            frontier = eng.superstep(frontier, message, "min", vertex)
+        return FrameworkResult(self.name, "sssp", eng.elapsed_ms(),
+                               arrays={"labels": dist}, iterations=rounds)
+
+    def pagerank(self, graph: Csr, max_iterations: Optional[int] = None,
+                 damping: float = 0.85,
+                 tolerance: Optional[float] = None) -> FrameworkResult:
+        eng = MedusaEngine(graph)
+        n = max(1, graph.n)
+        tol = (0.01 / n) if tolerance is None else tolerance
+        limit = 1000 if max_iterations is None else max_iterations
+        out_deg = np.maximum(graph.out_degrees, 1).astype(np.float64)
+        rank = np.full(graph.n, 1.0 / n)
+        all_v = np.arange(graph.n, dtype=np.int64)
+        iters = 0
+        converged = False
+        while not converged and iters < limit:
+            iters += 1
+            nxt = np.full(graph.n, (1.0 - damping) / n)
+
+            def message(s, t, e):
+                return rank[s] / out_deg[s]
+
+            def vertex(v, msg):
+                nxt[v] += damping * msg
+                return np.zeros(len(v), dtype=bool)
+
+            eng.superstep(all_v, message, "sum", vertex)
+            delta = np.abs(nxt - rank).max()
+            rank = nxt
+            converged = delta < tol
+        return FrameworkResult(self.name, "pagerank", eng.elapsed_ms(),
+                               arrays={"rank": rank}, iterations=iters)

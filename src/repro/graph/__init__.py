@@ -1,0 +1,14 @@
+"""Graph substrate: CSR/COO storage, builders, generators, datasets, I/O."""
+
+from .coo import Coo, csr_to_coo
+from .csr import Csr
+from .build import (from_edges, from_networkx, to_networkx, from_scipy,
+                    to_scipy, with_random_weights)
+from . import datasets, generators, io, properties
+
+__all__ = [
+    "Csr", "Coo", "csr_to_coo",
+    "from_edges", "from_networkx", "to_networkx", "from_scipy", "to_scipy",
+    "with_random_weights",
+    "datasets", "generators", "io", "properties",
+]

@@ -1,0 +1,117 @@
+"""Graph builders: edge lists, NetworkX, SciPy sparse, random weights."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .coo import Coo
+from .csr import Csr
+
+
+def from_edges(edges: Sequence[Tuple[int, int]] | np.ndarray, n: Optional[int] = None,
+               weights: Optional[Iterable[float]] = None,
+               undirected: bool = False) -> Csr:
+    """Build a CSR graph from an iterable of ``(src, dst)`` pairs.
+
+    ``undirected=True`` symmetrizes (and deduplicates) the edge set, the
+    same preprocessing the paper applies to its datasets.
+    """
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edges must be an (m, 2) array of (src, dst) pairs")
+    if n is None:
+        n = int(arr.max()) + 1 if len(arr) else 0
+    vals = None if weights is None else np.asarray(list(weights), dtype=np.float64)
+    coo = Coo(arr[:, 0], arr[:, 1], n, vals)
+    if undirected:
+        coo = coo.symmetrized()
+    return coo.to_csr()
+
+
+def from_networkx(nx_graph, weight: Optional[str] = None) -> Csr:
+    """Convert a NetworkX graph (nodes relabeled to 0..n-1 in sorted order)."""
+    import networkx as nx
+
+    nodes = sorted(nx_graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    src, dst, vals = [], [], []
+    for u, v, data in nx_graph.edges(data=True):
+        src.append(index[u])
+        dst.append(index[v])
+        if weight is not None:
+            vals.append(float(data.get(weight, 1.0)))
+        if not nx_graph.is_directed():
+            src.append(index[v])
+            dst.append(index[u])
+            if weight is not None:
+                vals.append(float(data.get(weight, 1.0)))
+    coo = Coo(np.asarray(src, dtype=np.int64) if src else np.zeros(0, dtype=np.int64),
+              np.asarray(dst, dtype=np.int64) if dst else np.zeros(0, dtype=np.int64),
+              n,
+              np.asarray(vals) if weight is not None and vals else None)
+    return coo.to_csr()
+
+
+def to_networkx(g: Csr, directed: bool = True):
+    """Convert a CSR graph to NetworkX (weights attached when present)."""
+    import networkx as nx
+
+    out = nx.DiGraph() if directed else nx.Graph()
+    out.add_nodes_from(range(g.n))
+    src = g.edge_sources
+    if g.edge_values is not None:
+        out.add_weighted_edges_from(
+            zip(src.tolist(), g.indices.tolist(), g.edge_values.tolist()))
+    else:
+        out.add_edges_from(zip(src.tolist(), g.indices.tolist()))
+    return out
+
+
+def from_scipy(mat) -> Csr:
+    """Build from a SciPy sparse matrix (values become edge weights)."""
+    csr = mat.tocsr()
+    if csr.shape[0] != csr.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    return Csr(csr.indptr.astype(np.int64), csr.indices.astype(np.int32),
+               np.asarray(csr.data, dtype=np.float64), n=csr.shape[0])
+
+
+def to_scipy(g: Csr):
+    """Export as ``scipy.sparse.csr_matrix`` (unit weights if unweighted)."""
+    import scipy.sparse as sp
+
+    return sp.csr_matrix((g.weight_or_ones(), g.indices, g.indptr), shape=(g.n, g.n))
+
+
+def with_random_weights(g: Csr, low: int = 1, high: int = 64,
+                        seed: int = 0, symmetric: bool = True) -> Csr:
+    """Attach uniform random integer weights in ``[low, high]``.
+
+    The paper's SSSP experiments use "random values between 1 and 64".
+    ``symmetric=True`` gives the two directions of an undirected edge the
+    same weight (required for SSSP on symmetrized graphs to be meaningful).
+    """
+    rng = np.random.default_rng(seed)
+    if not symmetric:
+        w = rng.integers(low, high + 1, size=g.m).astype(np.float64)
+        return g.with_edge_values(w)
+    # Canonical key (min, max) so that (u,v) and (v,u) hash identically.
+    src = g.edge_sources.astype(np.int64)
+    dst = g.indices.astype(np.int64)
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    key = lo * g.n + hi
+    # Hash the canonical key with a seeded splitmix-style mixer.
+    h = key.astype(np.uint64) + np.uint64(rng.integers(0, 2**62))
+    h ^= h >> np.uint64(30)
+    h *= np.uint64(0xBF58476D1CE4E5B9)
+    h ^= h >> np.uint64(27)
+    h *= np.uint64(0x94D049BB133111EB)
+    h ^= h >> np.uint64(31)
+    w = (h % np.uint64(high - low + 1)).astype(np.float64) + low
+    return g.with_edge_values(w)

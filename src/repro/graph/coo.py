@@ -1,0 +1,87 @@
+"""Coordinate (edge-list) graph form and COO<->CSR conversion.
+
+Gunrock lets users "choose an edge-list-only representation for
+edge-centric operations" (Section 3); connected components, for example,
+starts from a frontier of *all edges*.  The COO form here is the canonical
+intermediate for builders, generators and file I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .csr import Csr, EDGE_DT, VERTEX_DT
+
+
+@dataclass
+class Coo:
+    """An edge list: parallel ``src``/``dst`` arrays plus optional values."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    n: int
+    values: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.src = np.ascontiguousarray(self.src, dtype=VERTEX_DT)
+        self.dst = np.ascontiguousarray(self.dst, dtype=VERTEX_DT)
+        if len(self.src) != len(self.dst):
+            raise ValueError("src and dst must have equal length")
+        if self.values is not None and len(self.values) != len(self.src):
+            raise ValueError("values length mismatch")
+        if len(self.src) and (min(self.src.min(), self.dst.min()) < 0
+                              or max(self.src.max(), self.dst.max()) >= self.n):
+            raise ValueError("edge endpoints out of range")
+
+    @property
+    def m(self) -> int:
+        return len(self.src)
+
+    # -- cleaning -------------------------------------------------------------
+
+    def without_self_loops(self) -> "Coo":
+        keep = self.src != self.dst
+        vals = None if self.values is None else self.values[keep]
+        return Coo(self.src[keep], self.dst[keep], self.n, vals)
+
+    def deduplicated(self) -> "Coo":
+        """Drop duplicate (src, dst) pairs, keeping the first occurrence."""
+        key = self.src.astype(np.int64) * self.n + self.dst.astype(np.int64)
+        _, first = np.unique(key, return_index=True)
+        first.sort()
+        vals = None if self.values is None else self.values[first]
+        return Coo(self.src[first], self.dst[first], self.n, vals)
+
+    def symmetrized(self) -> "Coo":
+        """Add the reverse of every edge (paper: 'converted all datasets to
+        undirected graphs'); duplicates are removed."""
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        vals = None if self.values is None else np.concatenate([self.values, self.values])
+        return Coo(src, dst, self.n, vals).deduplicated()
+
+    # -- conversion -------------------------------------------------------------
+
+    def to_csr(self, sort_neighbors: bool = True) -> Csr:
+        """Counting-sort the edge list into CSR form."""
+        counts = np.bincount(self.src, minlength=self.n).astype(EDGE_DT)
+        indptr = np.zeros(self.n + 1, dtype=EDGE_DT)
+        np.cumsum(counts, out=indptr[1:])
+        if sort_neighbors:
+            # lexicographic (src, dst) order gives sorted neighbor lists
+            key = self.src.astype(np.int64) * self.n + self.dst.astype(np.int64)
+            order = np.argsort(key, kind="stable")
+        else:
+            order = np.argsort(self.src, kind="stable")
+        indices = self.dst[order]
+        vals = None if self.values is None else self.values[order]
+        return Csr(indptr, indices, vals, n=self.n)
+
+
+def csr_to_coo(g: Csr) -> Coo:
+    """Expand a CSR graph back into its edge list."""
+    return Coo(g.edge_sources.copy(), g.indices.copy(), g.n,
+               None if g.edge_values is None else g.edge_values.copy())

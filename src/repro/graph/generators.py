@@ -1,0 +1,285 @@
+"""Seeded synthetic graph generators.
+
+These stand in for the paper's datasets (Table 1) and scalability sweep
+(Table 3).  Everything is vectorized and deterministic given a seed.
+
+* :func:`rmat` / :func:`kronecker` — Graph500-style R-MAT, the generator
+  behind the paper's ``kron_g500-lognNN`` graphs.
+* :func:`road_grid` — a jittered 2D lattice: small even degrees (<= 4 by
+  construction plus optional diagonals), very large diameter; the
+  structural twin of roadNet-CA.
+* :func:`hub_graph` — one enormous hub plus a long low-degree chain body:
+  the structural twin of the bitcoin transaction graph (one vertex with
+  >0.5M degree, 94% of vertices with degree < 4, diameter > 1000).
+* :func:`powerlaw_cluster` — configuration-model scale-free graph with a
+  truncated power-law degree distribution; twin of soc-LiveJournal1.
+* :func:`bipartite_powerlaw` — two-sided power-law bipartite graph for the
+  who-to-follow primitives (Section 5.5).
+* :func:`uniform_random` — Erdos-Renyi-style G(n, m).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .coo import Coo
+from .csr import Csr
+
+
+def _finish(coo: Coo, undirected: bool) -> Csr:
+    coo = coo.without_self_loops().deduplicated()
+    if undirected:
+        coo = coo.symmetrized()
+    return coo.to_csr()
+
+
+def rmat(scale: int, edge_factor: int = 16,
+         a: float = 0.57, b: float = 0.19, c: float = 0.19,
+         seed: int = 0, undirected: bool = True) -> Csr:
+    """R-MAT / Kronecker generator (Graph500 parameters by default).
+
+    Generates ``edge_factor * 2**scale`` directed edge samples by
+    recursively choosing adjacency-matrix quadrants with probabilities
+    ``(a, b, c, d)``, then cleans self loops/duplicates and (optionally)
+    symmetrizes.  ``d`` is implied as ``1 - a - b - c``.
+    """
+    if scale < 0:
+        raise ValueError("scale must be >= 0")
+    d = 1.0 - a - b - c
+    if d < -1e-12:
+        raise ValueError("quadrant probabilities must sum to <= 1")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # One vectorized pass per bit level: choose quadrant for all edges.
+    for _bit in range(scale):
+        r = rng.random(m)
+        # quadrant: 0 -> (0,0), 1 -> (0,1), 2 -> (1,0), 3 -> (1,1)
+        src_bit = (r >= a + b).astype(np.int64)
+        dst_bit = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(np.int64)
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    # Graph500 permutes vertex labels to break the quadrant correlation.
+    perm = rng.permutation(n)
+    src = perm[src]
+    dst = perm[dst]
+    return _finish(Coo(src, dst, n), undirected)
+
+
+def kronecker(scale: int, edge_factor: int = 16, seed: int = 0,
+              undirected: bool = True) -> Csr:
+    """Alias for :func:`rmat` with Graph500 parameters — the paper's
+    ``kron_g500-logn{scale}`` family."""
+    return rmat(scale, edge_factor=edge_factor, seed=seed, undirected=undirected)
+
+
+def road_grid(width: int, height: int, drop_prob: float = 0.05,
+              diag_prob: float = 0.02, seed: int = 0) -> Csr:
+    """Jittered 2D lattice road network.
+
+    Vertices form a ``width x height`` grid with 4-neighborhood streets;
+    ``drop_prob`` of streets are missing (dead ends/rivers) and
+    ``diag_prob`` diagonal shortcuts exist (highway ramps).  Degrees stay
+    tiny and even; the diameter is Theta(width + height).
+    """
+    if width < 1 or height < 1:
+        raise ValueError("grid dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    n = width * height
+    idx = np.arange(n, dtype=np.int64)
+    x = idx % width
+    y = idx // width
+
+    edges = []
+    # horizontal streets
+    h_mask = x < width - 1
+    h_src = idx[h_mask]
+    h_dst = h_src + 1
+    edges.append((h_src, h_dst))
+    # vertical streets
+    v_mask = y < height - 1
+    v_src = idx[v_mask]
+    v_dst = v_src + width
+    edges.append((v_src, v_dst))
+    # diagonal shortcuts
+    d_mask = (x < width - 1) & (y < height - 1)
+    d_src = idx[d_mask]
+    take = rng.random(len(d_src)) < diag_prob
+    edges.append((d_src[take], d_src[take] + width + 1))
+
+    src = np.concatenate([e[0] for e in edges])
+    dst = np.concatenate([e[1] for e in edges])
+    keep = rng.random(len(src)) >= drop_prob
+    # never drop diagonals we explicitly added; keep the mask simple though —
+    # connectivity is restored below by re-adding a spanning comb.
+    src, dst = src[keep], dst[keep]
+    # Spanning comb (full first column + all horizontal streets) guarantees
+    # connectivity regardless of which streets were dropped above.
+    first_col = idx[(x == 0) & (y < height - 1)]
+    comb_h = idx[x < width - 1]
+    src = np.concatenate([src, first_col, comb_h])
+    dst = np.concatenate([dst, first_col + width, comb_h + 1])
+    return _finish(Coo(src, dst, n), undirected=True)
+
+
+def hub_graph(n: int, hub_degree: Optional[int] = None,
+              diameter: Optional[int] = None, hub_locality: float = 0.25,
+              extra_edge_factor: float = 0.35, seed: int = 0) -> Csr:
+    """Bitcoin-like topology: one huge hub on a long sparse backbone.
+
+    * a backbone path of ``diameter`` vertices (default ``n // 18``) sets
+      the graph's diameter — bitcoin's is a *fixed* structural statistic
+      (1041), independent of how many vertices hang off the backbone;
+    * every other vertex attaches to a uniformly random backbone position
+      with one edge, keeping degrees tiny (bitcoin: 94% of vertices have
+      degree < 4);
+    * vertex 0 is a hub adjacent to ``hub_degree`` vertices (default
+      ``n // 12``, mirroring bitcoin's ~0.5M-degree vertex in a 6.3M-vertex
+      graph) drawn from the *first* ``hub_locality`` fraction of ids, so
+      the hub does not shortcut the far end of the backbone;
+    * ``extra_edge_factor * n`` extra edges connect ids at most a small
+      window apart, thickening the graph without shrinking the diameter.
+    """
+    if n < 8:
+        raise ValueError("hub graph needs at least 8 vertices")
+    rng = np.random.default_rng(seed)
+    hub_degree = n // 12 if hub_degree is None else min(hub_degree, n - 1)
+    backbone = max(4, min(n // 18 if diameter is None else diameter, n - 2))
+
+    # backbone path over vertices 1..backbone
+    chain_src = np.arange(1, backbone, dtype=np.int64)
+    chain_dst = chain_src + 1
+
+    # leaves: vertices backbone+1..n-1 attach near a backbone position
+    # proportional to their id, so id-locality == backbone-locality
+    leaves = np.arange(backbone + 1, n, dtype=np.int64)
+    anchor = 1 + ((leaves - backbone - 1) * (backbone - 1)
+                  // max(1, n - backbone - 1))
+    anchor = anchor + rng.integers(0, 3, size=len(leaves))
+    anchor = np.clip(anchor, 1, backbone)
+
+    # hub: vertex 0, wired into vertices anchored to the first
+    # hub_locality fraction of the *backbone* (low backbone ids plus the
+    # leaves that map there), so it never shortcuts the far end
+    frac = min(1.0, max(hub_locality, (hub_degree + 2) / max(1, n)))
+    region_ids = np.concatenate([
+        np.arange(1, max(2, int(backbone * frac)), dtype=np.int64),
+        np.arange(backbone + 1,
+                  backbone + 1 + int((n - backbone - 1) * frac),
+                  dtype=np.int64),
+    ])
+    k = min(hub_degree, len(region_ids))
+    hub_targets = rng.choice(region_ids, size=k, replace=False)
+    hub_src = np.zeros(len(hub_targets), dtype=np.int64)
+
+    # local thickening edges between nearby *leaf* ids (leaf id order is
+    # backbone-position order, so these never shortcut the backbone;
+    # backbone ids are excluded because their numeric neighbors are
+    # leaves anchored at position ~0)
+    m_extra = int(n * extra_edge_factor)
+    lo = min(backbone + 1, n - 2)
+    ex_src = rng.integers(lo, n, size=m_extra)
+    window = max(2, (n - backbone) // max(4, backbone))
+    ex_dst = np.minimum(ex_src + rng.integers(1, window + 1, size=m_extra),
+                        n - 1)
+
+    src = np.concatenate([hub_src, chain_src, leaves, ex_src])
+    dst = np.concatenate([hub_targets, chain_dst, anchor, ex_dst])
+    return _finish(Coo(src, dst, n), undirected=True)
+
+
+def powerlaw_cluster(n: int, avg_degree: float = 14.0, exponent: float = 2.2,
+                     max_degree: Optional[int] = None, seed: int = 0) -> Csr:
+    """Configuration-model scale-free graph (soc-LiveJournal1 twin).
+
+    Draws a truncated power-law degree sequence with the given exponent
+    and mean, then wires stubs uniformly at random.  Self loops and
+    multi-edges are cleaned, which perturbs the realized degrees slightly.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    max_degree = max(4, int(np.sqrt(n) * 4)) if max_degree is None else max_degree
+    # inverse-CDF sampling of P(k) ~ k^-exponent on [1, max_degree]
+    u = rng.random(n)
+    kmin, kmax = 1.0, float(max_degree)
+    g = 1.0 - exponent
+    deg = ((kmax**g - kmin**g) * u + kmin**g) ** (1.0 / g)
+    deg = deg / deg.mean() * avg_degree
+    deg = np.maximum(1, np.round(deg)).astype(np.int64)
+    deg = np.minimum(deg, n - 1)
+    if deg.sum() % 2:
+        deg[int(np.argmin(deg))] += 1
+    stubs = np.repeat(np.arange(n, dtype=np.int64), deg)
+    rng.shuffle(stubs)
+    half = len(stubs) // 2
+    src, dst = stubs[:half], stubs[half:2 * half]
+    return _finish(Coo(src, dst, n), undirected=True)
+
+
+def uniform_random(n: int, m: int, seed: int = 0, undirected: bool = True) -> Csr:
+    """G(n, m)-style uniform random graph (duplicates removed, so the edge
+    count is approximately ``m``)."""
+    if n < 2:
+        raise ValueError("need at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return _finish(Coo(src, dst, n), undirected)
+
+
+def bipartite_powerlaw(n_left: int, n_right: int, avg_degree: float = 8.0,
+                       exponent: float = 2.1, seed: int = 0
+                       ) -> Tuple[Csr, int, int]:
+    """Bipartite graph for the who-to-follow primitives (Section 5.5).
+
+    Left vertices are ``0..n_left-1`` (users), right vertices are
+    ``n_left..n_left+n_right-1`` (e.g. accounts followed).  Edges go
+    left -> right; callers symmetrize as needed.  Returns
+    ``(graph, n_left, n_right)``.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_left + n_right
+    u = rng.random(n_left)
+    kmax = max(4.0, np.sqrt(n_right))
+    g = 1.0 - exponent
+    deg = ((kmax**g - 1.0) * u + 1.0) ** (1.0 / g)
+    deg = np.maximum(1, np.round(deg / deg.mean() * avg_degree)).astype(np.int64)
+    deg = np.minimum(deg, n_right)
+    src = np.repeat(np.arange(n_left, dtype=np.int64), deg)
+    # popularity-skewed right endpoints (Zipf-ish via squaring a uniform)
+    r = rng.random(len(src)) ** 2.0
+    dst = n_left + (r * n_right).astype(np.int64)
+    coo = Coo(src, dst, n).deduplicated()
+    return coo.to_csr(), n_left, n_right
+
+
+def star(n: int) -> Csr:
+    """A star with center 0 — the minimal worst case for thread-mapped
+    load balancing (one thread owns all the work)."""
+    if n < 2:
+        raise ValueError("star needs at least 2 vertices")
+    center = np.zeros(n - 1, dtype=np.int64)
+    leaves = np.arange(1, n, dtype=np.int64)
+    return _finish(Coo(center, leaves, n), undirected=True)
+
+
+def path(n: int) -> Csr:
+    """A path graph — maximal diameter, minimal parallelism."""
+    if n < 2:
+        raise ValueError("path needs at least 2 vertices")
+    src = np.arange(n - 1, dtype=np.int64)
+    return _finish(Coo(src, src + 1, n), undirected=True)
+
+
+def complete(n: int) -> Csr:
+    """K_n — every advance saturates the machine."""
+    if n < 2:
+        raise ValueError("complete graph needs at least 2 vertices")
+    src, dst = np.meshgrid(np.arange(n, dtype=np.int64), np.arange(n, dtype=np.int64),
+                           indexing="ij")
+    return _finish(Coo(src.ravel(), dst.ravel(), n), undirected=False)

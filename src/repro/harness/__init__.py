@@ -1,0 +1,17 @@
+"""Experiment harness: runners, table renderers, tracing, audits."""
+
+from .runner import Cell, Matrix, PRIMITIVES, geomean, run_cell, run_matrix
+from .tables import (PAPER_TABLE1, PAPER_TABLE2_MS, render_speedup_summary,
+                     render_table1, render_table2, render_table3)
+from .tracing import PAPER_FLOWS, all_flows, operator_flow, render_flows
+from .memory import footprint, render_footprint
+from .codesize import count_code_lines, primitive_code_sizes, render_code_sizes
+
+__all__ = [
+    "Cell", "Matrix", "PRIMITIVES", "geomean", "run_cell", "run_matrix",
+    "PAPER_TABLE1", "PAPER_TABLE2_MS", "render_speedup_summary",
+    "render_table1", "render_table2", "render_table3",
+    "PAPER_FLOWS", "all_flows", "operator_flow", "render_flows",
+    "footprint", "render_footprint",
+    "count_code_lines", "primitive_code_sizes", "render_code_sizes",
+]

@@ -1,0 +1,64 @@
+"""Code-size accounting — Section 6's programmability claim.
+
+"For a new graph primitive, users only need to write from 133 (simple
+primitive, BFS) to 261 (complex primitive, SALSA) lines of code."
+
+We count the non-blank, non-comment, non-docstring lines of each
+primitive module — the code a user would write against the public
+operator API (Problem + functors + enactor + driver), which is exactly
+what the paper counts.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from pathlib import Path
+from typing import Dict
+
+import repro.primitives as _prims
+
+
+def count_code_lines(path: Path) -> int:
+    """Physical source lines minus blanks, comments, and docstrings."""
+    text = Path(path).read_text(encoding="utf-8")
+    # collect docstring line ranges
+    doc_lines = set()
+    tree = ast.parse(text)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = getattr(node, "body", [])
+            if body and isinstance(body[0], ast.Expr) and \
+                    isinstance(body[0].value, ast.Constant) and \
+                    isinstance(body[0].value.value, str):
+                for line in range(body[0].lineno, body[0].end_lineno + 1):
+                    doc_lines.add(line)
+    code_lines = set()
+    for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+        if tok.type in (tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+                        tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER):
+            continue
+        for line in range(tok.start[0], tok.end[0] + 1):
+            if line not in doc_lines:
+                code_lines.add(line)
+    return len(code_lines)
+
+
+def primitive_code_sizes() -> Dict[str, int]:
+    """Lines of primitive-author code per shipped primitive module."""
+    root = Path(_prims.__file__).parent
+    out = {}
+    for name in ("bfs", "sssp", "bc", "pagerank", "cc"):
+        out[name] = count_code_lines(root / f"{name}.py")
+    return out
+
+
+def render_code_sizes() -> str:
+    sizes = primitive_code_sizes()
+    lines = ["Primitive implementation size (non-blank/comment/docstring LoC)",
+             "paper: 133 (BFS, simplest) to 261 (SALSA, most complex)"]
+    for name, n in sizes.items():
+        lines.append(f"  {name:<10} {n:>5}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Experiment runner: the framework x primitive x dataset matrix of Table 2."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..frameworks import ALL_FRAMEWORKS, Framework, FrameworkResult, Unsupported
+from ..graph import datasets
+from ..graph.csr import Csr
+from ..graph.build import with_random_weights
+
+#: primitives in Table 2's row order
+PRIMITIVES = ["bfs", "sssp", "bc", "pagerank", "cc"]
+
+
+@dataclass
+class Cell:
+    """One (framework, primitive, dataset) measurement."""
+
+    framework: str
+    primitive: str
+    dataset: str
+    runtime_ms: Optional[float]      # modeled/simulated; None == unsupported
+    mteps: Optional[float]
+    wall_ms: float = 0.0
+    iterations: int = 0
+
+    @property
+    def supported(self) -> bool:
+        return self.runtime_ms is not None
+
+
+@dataclass
+class Matrix:
+    """A full experiment grid, indexable by (framework, primitive, dataset)."""
+
+    cells: List[Cell] = field(default_factory=list)
+
+    def add(self, cell: Cell) -> None:
+        self.cells.append(cell)
+
+    def get(self, framework: str, primitive: str, dataset: str) -> Optional[Cell]:
+        for c in self.cells:
+            if (c.framework, c.primitive, c.dataset) == (framework, primitive,
+                                                         dataset):
+                return c
+        return None
+
+    def frameworks(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.framework, None)
+        return list(seen)
+
+    def datasets(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.dataset, None)
+        return list(seen)
+
+    def speedup(self, primitive: str, dataset: str, base: str,
+                versus: str) -> Optional[float]:
+        """runtime(versus) / runtime(base) — >1 means ``base`` wins."""
+        a = self.get(base, primitive, dataset)
+        b = self.get(versus, primitive, dataset)
+        if a is None or b is None or not a.supported or not b.supported:
+            return None
+        return b.runtime_ms / a.runtime_ms
+
+
+def geomean(values: Sequence[float]) -> float:
+    import math
+
+    vals = [v for v in values if v is not None and v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def run_cell(fw: Framework, primitive: str, graph: Csr, dataset: str,
+             src: int = 0, pagerank_max_iter: Optional[int] = None) -> Cell:
+    """Run one framework/primitive/dataset combination."""
+    t0 = time.perf_counter()
+    try:
+        kwargs = {}
+        if primitive == "pagerank" and pagerank_max_iter is not None:
+            kwargs["max_iterations"] = pagerank_max_iter
+        result: FrameworkResult = fw.run(primitive, graph, src=src, **kwargs)
+    except Unsupported:
+        return Cell(fw.name, primitive, dataset, None, None,
+                    wall_ms=(time.perf_counter() - t0) * 1e3)
+    wall = (time.perf_counter() - t0) * 1e3
+    return Cell(fw.name, primitive, dataset, result.runtime_ms,
+                result.mteps(graph.m), wall_ms=wall,
+                iterations=result.iterations)
+
+
+def run_matrix(scale: float = datasets.DEFAULT_SCALE,
+               primitives: Sequence[str] = tuple(PRIMITIVES),
+               dataset_names: Sequence[str] = tuple(datasets.TABLE_ORDER),
+               frameworks: Optional[Sequence[Framework]] = None,
+               seed: int = 42, src: int = 0,
+               weight_seed: int = 7) -> Matrix:
+    """Reproduce the Table 2 grid at the given dataset scale.
+
+    SSSP rows run on the weighted variant of each dataset ("random values
+    between 1 and 64"), everything else on the unweighted topology.
+    """
+    if frameworks is None:
+        frameworks = [cls() for cls in ALL_FRAMEWORKS]
+    matrix = Matrix()
+    for name in dataset_names:
+        graph = datasets.load(name, scale=scale, seed=seed)
+        weighted = with_random_weights(graph, seed=weight_seed)
+        source = _pick_source(graph, src)
+        for primitive in primitives:
+            g = weighted if primitive == "sssp" else graph
+            for fw in frameworks:
+                matrix.add(run_cell(fw, primitive, g, name, src=source))
+    return matrix
+
+
+def _pick_source(graph: Csr, preferred: int) -> int:
+    """Pick a traversal source inside the largest structure: the highest
+    out-degree vertex when the preferred source is isolated."""
+    if graph.n == 0:
+        return 0
+    deg = graph.out_degrees
+    if preferred < graph.n and deg[preferred] > 0:
+        return preferred
+    return int(deg.argmax())

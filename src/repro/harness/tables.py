@@ -1,0 +1,178 @@
+"""Text rendering of the paper's tables from measured matrices."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..graph import datasets, properties
+from .runner import Matrix, PRIMITIVES, geomean
+
+#: paper's Table 2 runtime values (ms), used by EXPERIMENTS.md comparisons;
+#: '-' cells are unsupported.  Keyed [primitive][dataset][framework].
+PAPER_TABLE2_MS: Dict[str, Dict[str, Dict[str, Optional[float]]]] = {
+    "bfs": {
+        "soc": {"BGL": 816, "PowerGraph": None, "Medusa": 75.82,
+                "MapGraph": 84.31, "HardwiredGPU": 37.87, "Ligra": 57.4,
+                "Gunrock": 29.16},
+        "bitcoin": {"BGL": 480, "PowerGraph": None, "Medusa": 1557,
+                    "MapGraph": 143.2, "HardwiredGPU": 69.22, "Ligra": 94.9,
+                    "Gunrock": 70.33},
+        "kron": {"BGL": 388, "PowerGraph": None, "Medusa": 46.21,
+                 "MapGraph": 43.97, "HardwiredGPU": 18.67, "Ligra": 13.3,
+                 "Gunrock": 18.96},
+        "roadnet": {"BGL": 72, "PowerGraph": None, "Medusa": 223.9,
+                    "MapGraph": 55.1, "HardwiredGPU": 8.18, "Ligra": 51.5,
+                    "Gunrock": 18.14},
+    },
+    "sssp": {
+        "soc": {"BGL": 8396, "PowerGraph": 1900, "Medusa": None,
+                "MapGraph": 1235, "HardwiredGPU": None, "Ligra": 779,
+                "Gunrock": 356},
+        "bitcoin": {"BGL": 5156, "PowerGraph": 1610, "Medusa": 7311,
+                    "MapGraph": 500.4, "HardwiredGPU": 271.4, "Ligra": 195,
+                    "Gunrock": 236},
+        "kron": {"BGL": 1776, "PowerGraph": 1000, "Medusa": None,
+                 "MapGraph": 125.1, "HardwiredGPU": None, "Ligra": 32.9,
+                 "Gunrock": 116},
+        "roadnet": {"BGL": 548, "PowerGraph": 5800, "Medusa": 1143,
+                    "MapGraph": 1285, "HardwiredGPU": 224.2, "Ligra": 108,
+                    "Gunrock": 264},
+    },
+    "bc": {
+        "soc": {"BGL": 2120, "PowerGraph": None, "Medusa": None,
+                "MapGraph": None, "HardwiredGPU": 543.8, "Ligra": 264,
+                "Gunrock": 191.2},
+        "bitcoin": {"BGL": 4840, "PowerGraph": None, "Medusa": None,
+                    "MapGraph": None, "HardwiredGPU": 190.2, "Ligra": 271,
+                    "Gunrock": 195},
+        "kron": {"BGL": 1456, "PowerGraph": None, "Medusa": None,
+                 "MapGraph": None, "HardwiredGPU": 156.1, "Ligra": 52.6,
+                 "Gunrock": 220.3},
+        "roadnet": {"BGL": 732, "PowerGraph": None, "Medusa": None,
+                    "MapGraph": None, "HardwiredGPU": 256.3, "Ligra": 129,
+                    "Gunrock": 160.8},
+    },
+    "pagerank": {
+        "soc": {"BGL": 49568, "PowerGraph": 9500, "Medusa": None,
+                "MapGraph": 3592, "HardwiredGPU": None, "Ligra": 265,
+                "Gunrock": 1812},
+        "bitcoin": {"BGL": 20400, "PowerGraph": 8600, "Medusa": 48156,
+                    "MapGraph": 948, "HardwiredGPU": None, "Ligra": 240,
+                    "Gunrock": 753.2},
+        "kron": {"BGL": 33432, "PowerGraph": 2500, "Medusa": None,
+                 "MapGraph": 2342, "HardwiredGPU": None, "Ligra": 114,
+                 "Gunrock": 2213},
+        "roadnet": {"BGL": 2440, "PowerGraph": 2600, "Medusa": 532.8,
+                    "MapGraph": 111.5, "HardwiredGPU": None, "Ligra": 13.1,
+                    "Gunrock": 89.34},
+    },
+    "cc": {
+        "soc": {"BGL": 2176, "PowerGraph": 12802, "Medusa": None,
+                "MapGraph": 803, "HardwiredGPU": 72, "Ligra": 498,
+                "Gunrock": 118.8},
+        "bitcoin": {"BGL": 1508, "PowerGraph": 8464, "Medusa": None,
+                    "MapGraph": 597.5, "HardwiredGPU": 28, "Ligra": 6180,
+                    "Gunrock": 58.5},
+        "kron": {"BGL": 716, "PowerGraph": 5375, "Medusa": None,
+                 "MapGraph": 261.1, "HardwiredGPU": 48, "Ligra": 1890,
+                 "Gunrock": None},
+        "roadnet": {"BGL": 232, "PowerGraph": 9995, "Medusa": None,
+                    "MapGraph": 1939, "HardwiredGPU": 8, "Ligra": 1320,
+                    "Gunrock": 23.07},
+    },
+}
+
+#: Table 1 as printed in the paper
+PAPER_TABLE1 = {
+    "soc": {"vertices": 4_847_571, "edges": 68_993_773,
+            "max_degree": 20333, "diameter": 16},
+    "bitcoin": {"vertices": 6_300_000, "edges": 28_000_000,
+                "max_degree": 565991, "diameter": 1041},
+    "kron": {"vertices": 1 << 20, "edges": 44_620_272,
+             "max_degree": 131503, "diameter": 6},
+    "roadnet": {"vertices": 1_965_206, "edges": 5_533_214,
+                "max_degree": 12, "diameter": 849},
+}
+
+
+def _fmt(v: Optional[float], width: int = 10) -> str:
+    if v is None:
+        return "—".rjust(width)
+    if v >= 1000:
+        return f"{v:,.0f}".rjust(width)
+    if v >= 10:
+        return f"{v:.1f}".rjust(width)
+    return f"{v:.3f}".rjust(width)
+
+
+def render_table1(stats_by_name: Dict[str, properties.GraphStats]) -> str:
+    """Table 1: dataset description (ours vs paper)."""
+    lines = ["Table 1: Dataset Description (measured twin vs paper original)",
+             f"{'Dataset':<10} {'Vertices':>10} {'Edges':>10} {'MaxDeg':>8} "
+             f"{'Diam':>6} | {'paper V':>10} {'paper E':>11} {'pMaxDeg':>8} {'pDiam':>6}"]
+    for name, s in stats_by_name.items():
+        p = PAPER_TABLE1.get(name, {})
+        lines.append(
+            f"{name:<10} {s.n:>10,} {s.m:>10,} {s.max_degree:>8,} "
+            f"{s.pseudo_diameter:>6} | {p.get('vertices', 0):>10,} "
+            f"{p.get('edges', 0):>11,} {p.get('max_degree', 0):>8,} "
+            f"{p.get('diameter', 0):>6}")
+    return "\n".join(lines)
+
+
+def render_table2(matrix: Matrix, primitive: str,
+                  show_mteps: bool = True) -> str:
+    """One primitive's block of Table 2 (runtime and edge throughput)."""
+    frameworks = matrix.frameworks()
+    header = f"Table 2 [{primitive.upper()}] — simulated runtime (ms), lower is better"
+    lines = [header,
+             f"{'Dataset':<10}" + "".join(f"{fw:>13}" for fw in frameworks)]
+    for ds in matrix.datasets():
+        row = [f"{ds:<10}"]
+        for fw in frameworks:
+            cell = matrix.get(fw, primitive, ds)
+            row.append(_fmt(cell.runtime_ms if cell else None, 13))
+        lines.append("".join(row))
+    if show_mteps:
+        lines.append(f"{'':<10}" + "  edge throughput (MTEPS), higher is better")
+        for ds in matrix.datasets():
+            row = [f"{ds:<10}"]
+            for fw in frameworks:
+                cell = matrix.get(fw, primitive, ds)
+                row.append(_fmt(cell.mteps if cell else None, 13))
+            lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_speedup_summary(matrix: Matrix, base: str = "Gunrock") -> str:
+    """Geomean speedups of ``base`` over every other framework, per
+    primitive — the Section 6 headline numbers."""
+    frameworks = [f for f in matrix.frameworks() if f != base]
+    lines = [f"Geomean speedup of {base} (x, >1 means {base} is faster)",
+             f"{'Primitive':<10}" + "".join(f"{fw:>13}" for fw in frameworks)]
+    for prim in PRIMITIVES:
+        row = [f"{prim:<10}"]
+        for fw in frameworks:
+            sp = [matrix.speedup(prim, ds, base, fw) for ds in matrix.datasets()]
+            g = geomean([s for s in sp if s])
+            row.append(_fmt(g, 13) if g == g else "—".rjust(13))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_table3(rows: List[dict]) -> str:
+    """Table 3: scalability sweep.  ``rows`` carry dataset/V/E plus per-
+    primitive runtime and MTEPS entries."""
+    lines = ["Table 3: Gunrock scalability on Kronecker graphs",
+             f"{'Dataset':<22} {'V':>9} {'E':>10} | "
+             f"{'BFS':>8} {'BC':>8} {'SSSP':>8} {'CC':>8} {'PR':>9} | "
+             f"{'BFS-MTEPS':>9} {'BC-MTEPS':>9} {'SSSP-MTEPS':>10}"]
+    for r in rows:
+        lines.append(
+            f"{r['dataset']:<22} {r['vertices']:>9,} {r['edges']:>10,} | "
+            f"{_fmt(r['bfs_ms'], 8)} {_fmt(r['bc_ms'], 8)} "
+            f"{_fmt(r['sssp_ms'], 8)} {_fmt(r['cc_ms'], 8)} "
+            f"{_fmt(r['pagerank_ms'], 9)} | "
+            f"{_fmt(r['bfs_mteps'], 9)} {_fmt(r['bc_mteps'], 9)} "
+            f"{_fmt(r['sssp_mteps'], 10)}")
+    return "\n".join(lines)

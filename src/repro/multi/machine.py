@@ -1,0 +1,85 @@
+"""Multi-GPU machine: k simulated devices + an interconnect cost model.
+
+Devices execute super-steps concurrently (per-step time is the max over
+devices), and frontier exchanges pay PCIe-class transfer costs: a fixed
+per-message latency plus bytes / bandwidth.  This is the §7 "multiple
+GPUs on a single node" configuration; parameters default to a
+Kepler-era node (PCIe 3.0 x16 per device, peer-to-peer through the
+switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..simt.machine import GPUSpec, Machine
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """PCIe-class device-to-device link."""
+
+    bandwidth_gbps: float = 12.0      # effective peer-to-peer GB/s
+    latency_us: float = 8.0           # per-transfer setup latency
+
+    def transfer_ms(self, total_bytes: float, n_messages: int) -> float:
+        return (n_messages * self.latency_us * 1e-3
+                + total_bytes / (self.bandwidth_gbps * 1e9) * 1e3)
+
+
+@dataclass
+class MultiMachine:
+    """k devices + exchange accounting.
+
+    Device compute time accrues on each device's own :class:`Machine`;
+    super-step elapsed time is reconstructed as the max over devices of
+    per-step compute, plus exchange time, summed over steps.
+    """
+
+    k: int = 2
+    spec: GPUSpec = field(default_factory=GPUSpec)
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("need at least one device")
+        self.devices: List[Machine] = [Machine(spec=self.spec)
+                                       for _ in range(self.k)]
+        self.comm_ms = 0.0
+        self.comm_bytes = 0.0
+        self.supersteps = 0
+        self._step_ms = 0.0
+        self._marks = [0.0] * self.k
+
+    # -- super-step protocol -------------------------------------------------
+
+    def begin_step(self) -> None:
+        self.supersteps += 1
+        self._marks = [d.elapsed_ms() for d in self.devices]
+
+    def end_step(self) -> None:
+        deltas = [d.elapsed_ms() - m
+                  for d, m in zip(self.devices, self._marks)]
+        self._step_ms += max(deltas) if deltas else 0.0
+
+    def exchange(self, total_bytes: float, n_messages: int = None) -> None:
+        """An all-to-all frontier exchange of the given volume."""
+        msgs = self.k * (self.k - 1) if n_messages is None else n_messages
+        if self.k > 1:
+            ms = self.interconnect.transfer_ms(total_bytes, msgs)
+            self.comm_ms += ms
+            self.comm_bytes += total_bytes
+
+    # -- reporting --------------------------------------------------------------
+
+    def elapsed_ms(self) -> float:
+        """Makespan: per-step device maxima plus communication."""
+        return self._step_ms + self.comm_ms
+
+    def compute_ms(self) -> float:
+        return self._step_ms
+
+    def total_device_ms(self) -> float:
+        """Sum of all device-busy time (for efficiency metrics)."""
+        return sum(d.elapsed_ms() for d in self.devices)

@@ -1,0 +1,36 @@
+"""Graph primitives built on the Gunrock core (Section 5)."""
+
+from .result import PrimitiveResult
+from .bfs import bfs, BfsProblem, BfsEnactor, BfsResult
+from .sssp import sssp, SsspProblem, SsspEnactor, SsspResult, default_delta
+from .bc import bc, BcProblem, BcEnactor, BcResult
+from .pagerank import (pagerank, pagerank_gather, PagerankProblem,
+                       PagerankEnactor, PagerankResult)
+from .cc import cc, CcProblem, CcEnactor, CcResult
+from .bipartite import BipartiteGraph, circle_of_trust, induced_bipartite
+from .hits import hits, HitsResult
+from .salsa import salsa, SalsaResult
+from .ppr import ppr, PprResult
+from .wtf import who_to_follow, WtfResult
+from .label_prop import label_propagation, LabelPropResult
+from .coloring import color, ColoringResult
+from .mis import mis, MisResult
+from .mst import mst, MstResult
+from .triangles import triangle_count, TriangleResult
+from .kcore import kcore, KCoreResult
+
+__all__ = [
+    "PrimitiveResult",
+    "bfs", "BfsProblem", "BfsEnactor", "BfsResult",
+    "sssp", "SsspProblem", "SsspEnactor", "SsspResult", "default_delta",
+    "bc", "BcProblem", "BcEnactor", "BcResult",
+    "pagerank", "pagerank_gather", "PagerankProblem", "PagerankEnactor",
+    "PagerankResult",
+    "cc", "CcProblem", "CcEnactor", "CcResult",
+    "BipartiteGraph", "circle_of_trust", "induced_bipartite",
+    "hits", "HitsResult", "salsa", "SalsaResult", "ppr", "PprResult",
+    "who_to_follow", "WtfResult",
+    "label_propagation", "LabelPropResult", "color", "ColoringResult",
+    "mis", "MisResult", "mst", "MstResult",
+    "triangle_count", "TriangleResult", "kcore", "KCoreResult",
+]

@@ -1,0 +1,121 @@
+"""HITS (Hyperlink-Induced Topic Search) on bipartite graphs (Section 5.5).
+
+One of the three node-ranking algorithms in the who-to-follow pipeline.
+Hubs live on the left side, authorities on the right; each iteration is
+two advances (push hub scores right, pull authority scores left — both
+expressed through Gunrock's advance on the forward and reverse graphs)
+followed by a normalization compute step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core import Frontier, Functor, ProblemBase, EnactorBase
+from ..core import atomics
+from ..simt.machine import Machine
+from .bipartite import BipartiteGraph
+from .result import PrimitiveResult, finish
+
+
+class HitsProblem(ProblemBase):
+    def __init__(self, bp: BipartiteGraph, machine: Optional[Machine] = None):
+        super().__init__(bp.graph, machine)
+        self.bp = bp
+        self.add_vertex_array("hub", np.float64, 0.0)
+        self.add_vertex_array("auth", np.float64, 0.0)
+        self.hub[:bp.n_left] = 1.0
+
+
+class _PushAuthFunctor(Functor):
+    """advance over forward edges: auth[right] += hub[left]."""
+
+    def apply_edge(self, P, src, dst, eid):
+        atomics.atomic_add(P.auth, dst, P.hub[src], P.machine)
+        return np.zeros(len(src), dtype=bool)
+
+
+class _PushHubFunctor(Functor):
+    """advance over reverse edges: hub[left] += auth[right]."""
+
+    def apply_edge(self, P, src, dst, eid):
+        atomics.atomic_add(P.hub, dst, P.auth[src], P.machine)
+        return np.zeros(len(src), dtype=bool)
+
+
+class HitsEnactor(EnactorBase):
+    def __init__(self, problem: HitsProblem, max_iterations: int = 50,
+                 tolerance: float = 1e-8):
+        super().__init__(problem, max_iterations=max_iterations)
+        self.tolerance = tolerance
+        self.converged = False
+
+    def _converged(self, frontier: Frontier) -> bool:
+        return self.converged
+
+    def _iterate(self, frontier: Frontier) -> Frontier:
+        P: HitsProblem = self.problem
+        bp = P.bp
+        prev_hub = P.hub.copy()
+
+        P.auth.fill(0.0)
+        self.advance(Frontier(bp.left_vertices()), _PushAuthFunctor())
+        norm = np.linalg.norm(P.auth)
+        if norm > 0:
+            P.auth /= norm
+
+        P.hub.fill(0.0)
+        rev_problem = _ReverseView(P)
+        from ..core.operators.advance import advance as _adv
+
+        _adv(rev_problem, Frontier(bp.right_vertices()), _PushHubFunctor(),
+             iteration=self.iteration)
+        norm = np.linalg.norm(P.hub)
+        if norm > 0:
+            P.hub /= norm
+
+        if P.machine is not None:
+            P.machine.map_kernel("hits_normalize", P.graph.n, 2.0,
+                                 iteration=self.iteration)
+        self.converged = bool(np.abs(P.hub - prev_hub).max() < self.tolerance)
+        return frontier
+
+
+class _ReverseView(ProblemBase):
+    """A problem view whose graph is the reverse (for right->left pushes);
+    every other attribute delegates to the wrapped problem, so functors
+    see the same state arrays."""
+
+    def __init__(self, problem: ProblemBase):
+        object.__setattr__(self, "_wrapped", problem)
+        self.graph = problem.bp.reverse
+        self.machine = problem.machine
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_wrapped"), name)
+
+
+@dataclass
+class HitsResult(PrimitiveResult):
+    @property
+    def hub(self) -> np.ndarray:
+        return self.arrays["hub"]
+
+    @property
+    def auth(self) -> np.ndarray:
+        return self.arrays["auth"]
+
+
+def hits(bp: BipartiteGraph, *, machine: Optional[Machine] = None,
+         max_iterations: int = 50, tolerance: float = 1e-8) -> HitsResult:
+    """Run HITS to convergence; hub scores on the left side, authority
+    scores on the right (L2-normalized, as in Kleinberg's formulation)."""
+    problem = HitsProblem(bp, machine)
+    enactor = HitsEnactor(problem, max_iterations=max_iterations,
+                          tolerance=tolerance)
+    enactor.enact(Frontier(bp.left_vertices()))
+    result = HitsResult(arrays={"hub": problem.hub, "auth": problem.auth})
+    return finish(result, machine, enactor)

@@ -1,0 +1,174 @@
+"""PageRank (Section 5.5).
+
+"In Gunrock, we begin with a frontier that contains all vertices in the
+graph and end when all vertices have converged.  Each iteration contains
+one advance operator to compute the PageRank value on the frontier of
+vertices, and one filter operator to remove the vertices whose PageRanks
+have already converged.  We accumulate PageRank values with AtomicAdd
+operations."
+
+We use the residual ("delta-push") formulation, which fits that operator
+skeleton exactly *and* stays correct as the frontier shrinks: every
+vertex carries a residual; an advance scatters ``damping * residual/deg``
+to neighbors with ``atomicAdd``; a filter commits received residuals into
+ranks and keeps only vertices whose residual still exceeds the tolerance.
+The converged fixpoint is the solution of ``r = (1-d)/n + d M r`` — true
+PageRank — because ``rank = (1-d)/n * sum_t (dM)^t 1`` telescopes the
+power series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core import Frontier, Functor, ProblemBase, EnactorBase
+from ..core import atomics
+from ..core.loadbalance import LoadBalancer
+from ..graph.csr import Csr
+from ..simt.machine import Machine
+from .result import PrimitiveResult, finish
+
+
+class PagerankProblem(ProblemBase):
+    """Rank accumulators and residuals."""
+
+    def __init__(self, graph: Csr, machine: Optional[Machine] = None,
+                 damping: float = 0.85, tolerance: Optional[float] = None):
+        super().__init__(graph, machine)
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        n = max(1, graph.n)
+        self.damping = damping
+        #: per-vertex convergence threshold; the paper-era Gunrock default
+        #: is 0.01 / |V| on the rank delta
+        self.tolerance = (0.01 / n) if tolerance is None else tolerance
+        base = (1.0 - damping) / n
+        self.add_vertex_array("rank", np.float64, base)
+        self.add_vertex_array("residual", np.float64, base)
+        self.add_vertex_array("residual_next", np.float64, 0.0)
+        # degrees as float once; zero-degree vertices scatter nothing
+        self.degrees = np.maximum(graph.out_degrees, 1).astype(np.float64)
+
+
+class _DistributeFunctor(Functor):
+    """advance: scatter ``damping * residual/degree`` along out-edges."""
+
+    def apply_edge(self, P, src, dst, eid):
+        atomics.atomic_add(P.residual_next, dst,
+                           P.damping * P.residual[src] / P.degrees[src],
+                           P.machine)
+        # the advance exists for its atomicAdd side effect; the next
+        # frontier is re-derived by the filter over all vertices
+        return np.zeros(len(src), dtype=bool)
+
+
+class _CommitFunctor(Functor):
+    """filter: fold received residual into rank; keep unconverged."""
+
+    def apply_vertex(self, P, v):
+        res = P.residual_next[v]
+        P.rank[v] += res
+        P.residual[v] = res
+        P.residual_next[v] = 0.0
+        return res > P.tolerance
+
+
+class PagerankEnactor(EnactorBase):
+    """advance (scatter) + filter (commit & cull) per super-step.
+
+    The filter runs over the full vertex range: converged vertices may be
+    re-activated when enough new residual reaches them, so the commit
+    pass must see everyone (its cost is the O(n) scan Gunrock's PR filter
+    also pays, since PR's frontier starts at all vertices).
+    """
+
+    def _iterate(self, frontier: Frontier) -> Frontier:
+        self.advance(frontier, _DistributeFunctor())
+        out = self.filter(Frontier.all_vertices(self.problem.graph.n),
+                          _CommitFunctor())
+        return out
+
+
+class GatherPagerankEnactor(EnactorBase):
+    """Section 7's gather-reduce PageRank: instead of scattering residual
+    with atomicAdd, every vertex *pulls* its neighbors' residuals through
+    the neighbor-reduce operator (a segmented reduction — no atomics, no
+    contention).  "We believe a new gather-reduce operator on
+    neighborhoods ... will significantly improve performance on this
+    operation."  The ablation benchmark quantifies that belief.
+    """
+
+    def _iterate(self, frontier: Frontier) -> Frontier:
+        from ..core.operators.neighbor_reduce import neighbor_reduce
+
+        P: PagerankProblem = self.problem
+        g = P.graph
+        # gather over the REVERSE graph: v pulls residual/deg from its
+        # in-neighbors (symmetric graphs make csc == csr topology-wise)
+        rev = g.csc
+
+        class _View:
+            graph = rev
+            machine = P.machine
+
+        all_v = Frontier.all_vertices(g.n)
+        gathered = neighbor_reduce(
+            _View(), all_v,
+            lambda _, s, d, e: P.damping * P.residual[d] / P.degrees[d],
+            op="sum", lb=self.lb, iteration=self.iteration)
+        self._trace("neighbor_reduce", all_v, all_v)
+        P.residual_next[:] = gathered
+        out = self.filter(all_v, _CommitFunctor())
+        return out
+
+
+def pagerank_gather(graph: Csr, *, machine: Optional[Machine] = None,
+                    damping: float = 0.85, tolerance: Optional[float] = None,
+                    max_iterations: Optional[int] = 1000) -> "PagerankResult":
+    """PageRank via the Section 7 gather-reduce operator (atomics-free).
+
+    Same fixpoint as :func:`pagerank` (all residual is gathered every
+    iteration, so convergence follows the same schedule); the simulated
+    cost differs — that delta is the future-work claim, measured in
+    ``benchmarks/bench_ablation_gather_reduce.py``.
+    """
+    problem = PagerankProblem(graph, machine, damping=damping,
+                              tolerance=tolerance)
+    enactor = GatherPagerankEnactor(problem, max_iterations=max_iterations)
+    enactor.enact(Frontier.all_vertices(graph.n))
+    result = PagerankResult(arrays={"rank": problem.rank})
+    return finish(result, machine, enactor)
+
+
+@dataclass
+class PagerankResult(PrimitiveResult):
+    @property
+    def rank(self) -> np.ndarray:
+        return self.arrays["rank"]
+
+    def normalized(self) -> np.ndarray:
+        """Ranks rescaled to sum to 1 (NetworkX's convention)."""
+        total = self.rank.sum()
+        return self.rank / total if total > 0 else self.rank
+
+
+def pagerank(graph: Csr, *, machine: Optional[Machine] = None,
+             damping: float = 0.85, tolerance: Optional[float] = None,
+             lb: Optional[LoadBalancer] = None,
+             max_iterations: Optional[int] = 1000) -> PagerankResult:
+    """Run PageRank to convergence (or ``max_iterations=1`` for the
+    single-iteration timing the paper bolds against Ligra).
+
+    Zero-out-degree vertices retain their mass rather than redistributing
+    it (the convention of the GPU frameworks the paper compares against).
+    The paper's datasets are symmetrized, so none arise there.
+    """
+    problem = PagerankProblem(graph, machine, damping=damping,
+                              tolerance=tolerance)
+    enactor = PagerankEnactor(problem, lb=lb, max_iterations=max_iterations)
+    enactor.enact(Frontier.all_vertices(graph.n))
+    result = PagerankResult(arrays={"rank": problem.rank})
+    return finish(result, machine, enactor)

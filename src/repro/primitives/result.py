@@ -1,0 +1,56 @@
+"""Common result envelope for Gunrock primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.enactor import EnactorStats
+from ..simt.machine import Machine
+
+
+@dataclass
+class PrimitiveResult:
+    """What every primitive returns: outputs + run statistics.
+
+    ``arrays`` holds the algorithm's named outputs (e.g. ``labels``,
+    ``preds`` for BFS); convenience attributes on subclasses alias into
+    it.  ``elapsed_ms`` is *simulated* GPU time (None when the primitive
+    ran without a machine).
+    """
+
+    arrays: Dict[str, Any] = field(default_factory=dict)
+    iterations: int = 0
+    elapsed_ms: Optional[float] = None
+    enactor_stats: Optional[EnactorStats] = None
+    machine: Optional[Machine] = None
+
+    def __getitem__(self, key: str):
+        return self.arrays[key]
+
+    def mteps(self, edges: Optional[int] = None) -> Optional[float]:
+        """Millions of traversed edges per second (simulated).
+
+        The paper computes MTEPS against the graph's |E| (Table 2); pass
+        ``edges`` explicitly to use the counter-measured edge count
+        instead.
+        """
+        if self.elapsed_ms is None or self.elapsed_ms == 0:
+            return None
+        if edges is None:
+            if self.machine is None:
+                return None
+            edges = self.machine.counters.edges_visited
+        return edges / (self.elapsed_ms * 1e-3) / 1e6
+
+
+def finish(result: PrimitiveResult, machine: Optional[Machine],
+           enactor=None) -> PrimitiveResult:
+    """Stamp run statistics onto a result (helper for primitive authors)."""
+    if machine is not None:
+        result.elapsed_ms = machine.elapsed_ms()
+        result.machine = machine
+    if enactor is not None:
+        result.enactor_stats = enactor.stats
+        result.iterations = enactor.stats.iterations
+    return result

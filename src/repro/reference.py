@@ -1,0 +1,206 @@
+"""Textbook serial reference implementations — an independent oracle.
+
+Plain-Python, dependency-free versions of every core algorithm, written
+for obviousness rather than speed.  The test suite validates the Gunrock
+primitives against BOTH NetworkX and these — two independent oracles make
+a silent three-way bug (library + test + reference all wrong the same
+way) vastly less likely.  They are also the honest answer to "what is
+the simplest correct program this system must agree with?".
+
+Only for small graphs: everything here is O(V·E)-ish with Python-loop
+constants.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from .graph.csr import Csr
+
+
+def bfs_depths(g: Csr, src: int) -> List[int]:
+    """Level-by-level BFS; -1 marks unreachable vertices."""
+    depth = [-1] * g.n
+    depth[src] = 0
+    queue = [src]
+    while queue:
+        nxt = []
+        for u in queue:
+            for v in g.neighbors(u):
+                v = int(v)
+                if depth[v] < 0:
+                    depth[v] = depth[u] + 1
+                    nxt.append(v)
+        queue = nxt
+    return depth
+
+
+def dijkstra(g: Csr, src: int) -> List[float]:
+    """Binary-heap Dijkstra; inf marks unreachable vertices."""
+    w = g.weight_or_ones()
+    dist = [float("inf")] * g.n
+    dist[src] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    done = [False] * g.n
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for eid in g.edge_range(u):
+            v = int(g.indices[eid])
+            nd = d + float(w[eid])
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def brandes_single_source(g: Csr, src: int) -> Tuple[List[float], List[float]]:
+    """Brandes's algorithm from one source: ``(sigma, delta)``."""
+    sigma = [0.0] * g.n
+    dist = [-1] * g.n
+    sigma[src] = 1.0
+    dist[src] = 0
+    order: List[int] = []
+    queue = [src]
+    while queue:
+        nxt = []
+        for u in queue:
+            order.append(u)
+        for u in queue:
+            for v in g.neighbors(u):
+                v = int(v)
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    nxt.append(v)
+        # second pass so sigma flows along ALL same-level parents
+        for u in queue:
+            for v in g.neighbors(u):
+                v = int(v)
+                if dist[v] == dist[u] + 1:
+                    sigma[v] += sigma[u]
+        queue = sorted(set(nxt))
+    delta = [0.0] * g.n
+    for u in reversed(order):
+        for v in g.neighbors(u):
+            v = int(v)
+            if dist[v] == dist[u] + 1 and sigma[v] > 0:
+                delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v])
+    delta[src] = 0.0
+    return sigma, delta
+
+
+def pagerank_power(g: Csr, damping: float = 0.85, iterations: int = 200
+                   ) -> List[float]:
+    """Power iteration with retained (non-teleporting) dangling mass —
+    the library's convention (see repro.primitives.pagerank)."""
+    n = max(1, g.n)
+    rank = [(1.0 - damping) / n] * g.n
+    # iterate r_{t+1} = (1-d)/n + d M' r_t ... via the telescoped series
+    total = list(rank)
+    contrib = list(rank)
+    for _ in range(iterations):
+        nxt = [0.0] * g.n
+        for u in range(g.n):
+            deg = int(g.indptr[u + 1] - g.indptr[u])
+            if deg == 0 or contrib[u] == 0.0:
+                continue
+            share = damping * contrib[u] / deg
+            for v in g.neighbors(u):
+                nxt[int(v)] += share
+        contrib = nxt
+        for v in range(g.n):
+            total[v] += nxt[v]
+        if sum(nxt) < 1e-15:
+            break
+    return total
+
+
+def connected_components(g: Csr) -> List[int]:
+    """Union-find with path compression; labels are component minima."""
+    parent = list(range(g.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u in range(g.n):
+        for v in g.neighbors(u):
+            ru, rv = find(u), find(int(v))
+            if ru != rv:
+                # union by smaller label so roots are minima
+                lo, hi = min(ru, rv), max(ru, rv)
+                parent[hi] = lo
+    return [find(v) for v in range(g.n)]
+
+
+def triangle_count(g: Csr) -> int:
+    """Adjacency-set intersection over ordered vertex triples."""
+    adj: List[set] = [set(int(x) for x in g.neighbors(u)) for u in range(g.n)]
+    count = 0
+    for u in range(g.n):
+        for v in adj[u]:
+            if v <= u:
+                continue
+            for w in adj[u] & adj[v]:
+                if w > v:
+                    count += 1
+    return count
+
+
+def core_numbers(g: Csr) -> List[int]:
+    """Iterative peeling (Batagelj-Zaversnik without the bucket trick)."""
+    deg = [int(d) for d in g.out_degrees]
+    core = [0] * g.n
+    alive = [True] * g.n
+    remaining = g.n
+    k = 0
+    while remaining:
+        k += 1
+        changed = True
+        while changed:
+            changed = False
+            for v in range(g.n):
+                if alive[v] and deg[v] < k:
+                    core[v] = k - 1
+                    alive[v] = False
+                    remaining -= 1
+                    changed = True
+                    for u in g.neighbors(v):
+                        u = int(u)
+                        if alive[u]:
+                            deg[u] -= 1
+    return core
+
+
+def minimum_spanning_weight(g: Csr) -> float:
+    """Kruskal over canonical undirected edges."""
+    edges: Dict[Tuple[int, int], float] = {}
+    w = g.weight_or_ones()
+    src = g.edge_sources
+    for eid in range(g.m):
+        a, b = int(src[eid]), int(g.indices[eid])
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        if key not in edges or w[eid] < edges[key]:
+            edges[key] = float(w[eid])
+    parent = list(range(g.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0.0
+    for (a, b), weight in sorted(edges.items(), key=lambda kv: (kv[1], kv[0])):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+            total += weight
+    return total

@@ -1,0 +1,114 @@
+"""BSP atomics: semantics, determinism, conflict accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import atomics
+from repro.simt import Machine
+
+
+def test_atomic_min_basic():
+    arr = np.array([10.0, 10.0, 10.0])
+    won = atomics.atomic_min(arr, np.array([0, 1]), np.array([5.0, 20.0]))
+    assert won.tolist() == [True, False]
+    assert arr.tolist() == [5.0, 10.0, 10.0]
+
+
+def test_atomic_min_conflicts_all_report_pre_state():
+    """Every lane that improves on the PRE-kernel value reports a win —
+    the BSP semantics Gunrock's SSSP relies on (filter dedups later)."""
+    arr = np.array([100.0])
+    won = atomics.atomic_min(arr, np.array([0, 0, 0]),
+                             np.array([7.0, 3.0, 9.0]))
+    assert won.tolist() == [True, True, True]
+    assert arr[0] == 3.0
+
+
+def test_atomic_min_equal_is_not_win():
+    arr = np.array([5.0])
+    won = atomics.atomic_min(arr, np.array([0]), np.array([5.0]))
+    assert won.tolist() == [False]
+
+
+def test_atomic_min_length_mismatch():
+    with pytest.raises(ValueError):
+        atomics.atomic_min(np.zeros(3), np.array([0]), np.array([1.0, 2.0]))
+
+
+def test_atomic_max():
+    arr = np.array([1.0, 5.0])
+    won = atomics.atomic_max(arr, np.array([0, 1]), np.array([3.0, 2.0]))
+    assert won.tolist() == [True, False]
+    assert arr.tolist() == [3.0, 5.0]
+
+
+def test_atomic_add_accumulates_duplicates():
+    arr = np.zeros(3)
+    atomics.atomic_add(arr, np.array([0, 0, 2]), np.array([1.0, 2.0, 4.0]))
+    assert arr.tolist() == [3.0, 0.0, 4.0]
+
+
+def test_atomic_add_length_mismatch():
+    with pytest.raises(ValueError):
+        atomics.atomic_add(np.zeros(3), np.array([0, 1]), np.array([1.0]))
+
+
+def test_atomic_cas_claim_unique_winner():
+    flags = np.zeros(4, dtype=bool)
+    won = atomics.atomic_cas_claim(flags, np.array([2, 2, 2, 1]))
+    assert won.sum() == 2            # one winner per distinct cell
+    assert won.tolist() == [True, False, False, True]  # first lane wins
+    assert flags.tolist() == [False, True, True, False]
+
+
+def test_atomic_cas_claim_respects_prior_claims():
+    flags = np.array([True, False])
+    won = atomics.atomic_cas_claim(flags, np.array([0, 1]))
+    assert won.tolist() == [False, True]
+
+
+def test_atomic_cas_empty():
+    flags = np.zeros(2, dtype=bool)
+    won = atomics.atomic_cas_claim(flags, np.zeros(0, dtype=np.int64))
+    assert len(won) == 0
+
+
+def test_atomic_exch_last_wins():
+    arr = np.array([0.0, 0.0])
+    old = atomics.atomic_exch_gather(arr, np.array([0, 0]), np.array([1.0, 2.0]))
+    assert arr[0] == 2.0
+    assert old.tolist() == [0.0, 0.0]
+
+
+def test_conflict_stats():
+    assert atomics.conflict_stats(np.array([1, 1, 2])) == (3, 1)
+    assert atomics.conflict_stats(np.zeros(0)) == (0, 0)
+
+
+def test_atomics_charge_machine():
+    m = Machine()
+    arr = np.zeros(4)
+    atomics.atomic_add(arr, np.array([0, 0, 1]), np.ones(3), m)
+    assert m.counters.atomics_issued == 3
+    assert m.counters.atomic_conflicts == 1
+    assert m.counters.cycles > 0
+
+
+def test_atomics_fold_into_fusion_scope():
+    m = Machine()
+    with m.fused("outer"):
+        atomics.atomic_add(np.zeros(2), np.array([0]), np.ones(1), m)
+    assert m.counters.kernel_launches == 1
+    assert m.counters.kernels[0].name == "outer"
+
+
+def test_atomic_min_determinism_any_order():
+    """Result must be order-independent (min is commutative)."""
+    idx = np.array([0, 1, 0, 1, 0])
+    vals = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+    a = np.full(2, 10.0)
+    atomics.atomic_min(a, idx, vals)
+    b = np.full(2, 10.0)
+    perm = np.array([4, 2, 0, 3, 1])
+    atomics.atomic_min(b, idx[perm], vals[perm])
+    assert np.array_equal(a, b)

@@ -1,0 +1,175 @@
+"""Enactor loop, trace recording, and direction-policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (EnactorBase, Frontier, Functor, ProblemBase,
+                        DirectionOptimizer, FixedDirection)
+from repro.graph import generators
+from repro.simt import Machine
+
+
+class CountProblem(ProblemBase):
+    def __init__(self, graph, machine=None):
+        super().__init__(graph, machine)
+        self.add_vertex_array("labels", np.int64, -1)
+
+    def unvisited_mask(self):
+        return self.labels < 0
+
+
+class StepFunctor(Functor):
+    def __init__(self, depth):
+        self.depth = depth
+
+    def cond_edge(self, P, src, dst, eid):
+        return P.labels[dst] < 0
+
+    def apply_edge(self, P, src, dst, eid):
+        P.labels[dst] = self.depth
+        return None
+
+
+class SimpleEnactor(EnactorBase):
+    def _iterate(self, frontier):
+        out = self.advance(frontier, StepFunctor(self.iteration + 1))
+        return out.deduplicated()
+
+
+@pytest.fixture()
+def graph():
+    return generators.path(10)
+
+
+def test_enact_runs_to_empty(graph):
+    P = CountProblem(graph)
+    P.labels[0] = 0
+    e = SimpleEnactor(P)
+    final = e.enact(Frontier.from_vertex(0))
+    assert final.is_empty
+    # 9 productive steps + 1 final step that discovers the empty frontier
+    assert e.stats.iterations == 10
+    assert P.labels.tolist() == list(range(10))
+
+
+def test_enact_max_iterations(graph):
+    P = CountProblem(graph)
+    P.labels[0] = 0
+    e = SimpleEnactor(P, max_iterations=3)
+    e.enact(Frontier.from_vertex(0))
+    assert e.stats.iterations == 3
+    assert P.labels.max() == 3
+
+
+def test_trace_records_ops(graph):
+    P = CountProblem(graph)
+    P.labels[0] = 0
+    e = SimpleEnactor(P)
+    e.enact(Frontier.from_vertex(0))
+    assert len(e.stats.trace) == 10
+    first = e.stats.trace[0]
+    assert first.op == "advance"
+    assert first.iteration == 0
+    assert first.in_size == 1
+
+
+def test_op_sequence(graph):
+    P = CountProblem(graph)
+    P.labels[0] = 0
+    e = SimpleEnactor(P)
+    e.enact(Frontier.from_vertex(0))
+    assert e.stats.op_sequence(0) == ["advance"]
+    assert e.stats.ops_per_iteration() == pytest.approx(1.0)
+
+
+def test_enactor_base_iterate_abstract(graph):
+    P = CountProblem(graph)
+    with pytest.raises(NotImplementedError):
+        EnactorBase(P)._iterate(Frontier.empty())
+
+
+def test_enactor_counts_machine_iterations(graph):
+    m = Machine()
+    P = CountProblem(graph, m)
+    P.labels[0] = 0
+    SimpleEnactor(P).enact(Frontier.from_vertex(0))
+    assert m.counters.iterations == 10
+
+
+# -- direction policies ----------------------------------------------------------
+
+
+def test_fixed_direction():
+    g = generators.star(10)
+    d = FixedDirection("pull")
+    assert d.choose(g, 1, 1, 9) == "pull"
+    with pytest.raises(ValueError):
+        FixedDirection("both")
+
+
+def test_direction_optimizer_switches_to_pull():
+    g = generators.kronecker(8, seed=1)
+    d = DirectionOptimizer(alpha=15.0)
+    # small frontier with few edges stays push
+    assert d.choose(g, 1, 2, g.n - 1) == "push"
+    # a big frontier holding most of the edges, with the unvisited
+    # population collapsed, flips to pull
+    assert d.choose(g, g.n // 2, g.m // 2, g.n // 3) == "pull"
+
+
+def test_direction_optimizer_guards():
+    g = generators.kronecker(8, seed=1)
+    # mostly-unvisited graph: never pull, however edge-heavy the frontier
+    d = DirectionOptimizer()
+    assert d.choose(g, g.n // 2, g.m, g.n - 1) == "push"
+    # tiny frontier (below the switch-back threshold): no pull ping-pong
+    d = DirectionOptimizer()
+    assert d.choose(g, 2, g.m, g.n // 3) == "push"
+
+
+def test_direction_optimizer_switches_back_to_push():
+    g = generators.kronecker(8, seed=1)
+    d = DirectionOptimizer(beta=18.0)
+    d.mode = "pull"
+    assert d.choose(g, 2, 4, 10) == "push"  # tiny frontier: back to push
+
+
+def test_direction_optimizer_reset():
+    d = DirectionOptimizer()
+    d.mode = "pull"
+    d.reset()
+    assert d.mode == "push"
+
+
+def test_direction_optimizer_empty_graph():
+    from repro.graph import from_edges
+
+    g = from_edges([], n=0)
+    d = DirectionOptimizer()
+    assert d.choose(g, 0, 0, 0) == "push"
+
+
+# -- problem base ------------------------------------------------------------------
+
+
+def test_problem_array_registration(graph):
+    P = CountProblem(graph)
+    assert P.labels is P._vertex_arrays["labels"]
+    e = P.add_edge_array("flags", bool, False)
+    assert e.shape == (graph.m,)
+    assert P.state_nbytes() == P.labels.nbytes + e.nbytes
+
+
+def test_problem_footprint_coefficients(graph):
+    P = CountProblem(graph)
+    coeff = P.footprint_coefficients()
+    assert coeff["beta"] == pytest.approx(2.0)  # one int64 per vertex
+    assert coeff["alpha"] == 0.0
+
+
+def test_problem_unvisited_default_raises(graph):
+    class Bare(ProblemBase):
+        pass
+
+    with pytest.raises(NotImplementedError):
+        Bare(graph).unvisited_mask()

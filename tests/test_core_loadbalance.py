@@ -1,0 +1,145 @@
+"""Load-balance strategy tests: cost shapes must reflect Section 4.4's
+qualitative claims (thread-mapped suffers on skew, TWC/LB tame it)."""
+
+import numpy as np
+import pytest
+
+from repro.core.loadbalance import (DEFAULT_THRESHOLD, Hybrid, LBPartitioned,
+                                    ThreadMapped, TWC, default_load_balancer)
+from repro.core.loadbalance.base import pad_reshape
+from repro.simt import GPUSpec
+
+SPEC = GPUSpec()
+
+
+def makespan(est):
+    if len(est.cta_costs) == 0:
+        return est.setup_cycles
+    total = est.cta_costs.sum()
+    return max(est.cta_costs.max(), total / SPEC.num_sm) + est.setup_cycles
+
+
+def test_pad_reshape():
+    tiles = pad_reshape(np.array([1, 2, 3]), 2)
+    assert tiles.shape == (2, 2)
+    assert tiles.tolist() == [[1, 2], [3, 0]]
+
+
+def test_pad_reshape_empty():
+    assert pad_reshape(np.zeros(0, dtype=np.int64), 4).shape == (0, 4)
+
+
+def test_thread_mapped_uniform():
+    degs = np.full(SPEC.cta_size, 4)
+    est = ThreadMapped(cooperative=True).estimate(degs, SPEC, 1.0, 0.0)
+    assert len(est.cta_costs) == 1
+    # 1024 edges at the aggregate per-edge rate
+    assert est.cta_costs[0] == pytest.approx(1024.0)
+
+
+def test_thread_mapped_naive_pays_max():
+    from repro.simt import calib
+
+    degs = np.array([1000] + [1] * (SPEC.cta_size - 1))
+    naive = ThreadMapped(cooperative=False).estimate(degs, SPEC, 1.0, 0.0)
+    coop = ThreadMapped(cooperative=True).estimate(degs, SPEC, 1.0, 0.0)
+    # the 1000-edge list is walked by a single latency-bound lane
+    assert naive.cta_costs[0] == pytest.approx(1000.0 * calib.C_EDGE_SERIAL)
+    assert coop.cta_costs[0] < naive.cta_costs[0]
+
+
+def test_thread_mapped_cross_cta_imbalance():
+    """Cooperative stripping balances within a CTA but not across CTAs —
+    a hub in one CTA still dominates the makespan."""
+    n = 256 * 15
+    total = 150_000
+    hub = np.full(n, 2)
+    hub[0] = total - 2 * (n - 1)          # all excess work in CTA 0
+    flat = np.full(n, total // n)          # same total, spread evenly
+    est_hub = ThreadMapped().estimate(hub, SPEC, 1.0, 0.0)
+    est_flat = ThreadMapped().estimate(flat, SPEC, 1.0, 0.0)
+    assert makespan(est_hub) > 5 * makespan(est_flat)
+
+
+def test_twc_classes():
+    # one large (2*CTA), one medium (2*warp), many small
+    degs = np.array([512, 64] + [3] * 254)
+    est = TWC().estimate(degs, SPEC, 1.0, 0.0)
+    assert len(est.cta_costs) == 1
+    # large: 512 edges; medium: max(64, 2*64) skew-penalized; small: every
+    # warp padded to its longest list (3 * 32 per warp, 8 warps); +overhead
+    assert est.cta_costs[0] == pytest.approx(512 + 128 + 8 * 96 + 40.0)
+
+
+def test_twc_beats_naive_thread_mapped_on_skew():
+    rng = np.random.default_rng(0)
+    degs = rng.zipf(1.8, size=4096).clip(1, 50_000)
+    twc = TWC().estimate(degs, SPEC, 1.0, 0.0)
+    naive = ThreadMapped(cooperative=False).estimate(degs, SPEC, 1.0, 0.0)
+    assert makespan(twc) < makespan(naive)
+
+
+def test_lb_partitioned_perfect_balance():
+    rng = np.random.default_rng(0)
+    degs = rng.zipf(1.8, size=4096).clip(1, 50_000)
+    est = LBPartitioned().estimate(degs, SPEC, 1.0, 0.0)
+    # all full chunks cost the same
+    assert np.allclose(est.cta_costs[:-1], est.cta_costs[0])
+    assert est.cta_costs[-1] <= est.cta_costs[0] + 1e-9
+
+
+def test_lb_partitioned_beats_twc_on_extreme_skew():
+    degs = np.array([500_000] + [1] * 100)
+    lb = LBPartitioned().estimate(degs, SPEC, 1.0, 0.0)
+    twc = TWC().estimate(degs, SPEC, 1.0, 0.0)
+    assert makespan(lb) < makespan(twc)
+
+
+def test_lb_partitioned_pays_setup():
+    est = LBPartitioned().estimate(np.array([1, 1]), SPEC, 1.0, 0.0)
+    assert est.setup_cycles > 0
+
+
+def test_lb_partitioned_empty_frontier():
+    est = LBPartitioned().estimate(np.zeros(0, dtype=np.int64), SPEC, 1.0, 0.0)
+    assert len(est.cta_costs) == 0
+
+
+def test_fine_grained_wins_on_small_even_frontier():
+    """The reason the hybrid exists: tiny, even frontiers should not pay
+    LB's scan + sorted-search setup."""
+    degs = np.full(32, 3)
+    fine = ThreadMapped().estimate(degs, SPEC, 1.0, 0.0)
+    coarse = LBPartitioned().estimate(degs, SPEC, 1.0, 0.0)
+    assert makespan(fine) < makespan(coarse)
+
+
+def test_hybrid_threshold_dispatch():
+    h = Hybrid()
+    h.estimate(np.full(10, 10), SPEC, 1.0, 0.0)     # total 100 < 4096
+    assert h.last_choice == "thread_mapped"
+    h.estimate(np.full(10, 1000), SPEC, 1.0, 0.0)   # total 10000 >= 4096
+    assert h.last_choice == "lb_partitioned"
+
+
+def test_hybrid_default_threshold_is_papers():
+    assert Hybrid().threshold == 4096 == DEFAULT_THRESHOLD
+
+
+def test_default_load_balancer():
+    lb = default_load_balancer()
+    assert isinstance(lb, Hybrid)
+
+
+@pytest.mark.parametrize("strategy", [ThreadMapped(), ThreadMapped(False),
+                                      TWC(), LBPartitioned(), Hybrid()])
+def test_all_strategies_handle_empty(strategy):
+    est = strategy.estimate(np.zeros(0, dtype=np.int64), SPEC, 1.0, 1.0)
+    assert len(est.cta_costs) == 0
+
+
+@pytest.mark.parametrize("strategy", [ThreadMapped(), TWC(), LBPartitioned()])
+def test_cost_scales_with_work(strategy):
+    small = strategy.estimate(np.full(100, 8), SPEC, 1.0, 0.0)
+    big = strategy.estimate(np.full(10_000, 8), SPEC, 1.0, 0.0)
+    assert makespan(big) > makespan(small)

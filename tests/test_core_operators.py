@@ -1,0 +1,479 @@
+"""Operator tests: advance (push/pull, vertex/edge), filter + heuristics,
+compute, priority queue, neighbor-reduce, sample."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Frontier, FrontierKind, Functor, ProblemBase,
+                        advance, compute, filter_frontier, neighbor_reduce,
+                        sample, IdempotenceHeuristics, NearFarPile,
+                        split_near_far)
+from repro.core.operators.advance import expand_push
+from repro.core.operators.compute import compute_masked
+from repro.graph import from_edges
+from repro.simt import Machine
+
+
+class PlainProblem(ProblemBase):
+    def __init__(self, graph, machine=None):
+        super().__init__(graph, machine)
+        self.add_vertex_array("labels", np.int64, -1)
+
+    def unvisited_mask(self):
+        return self.labels < 0
+
+
+@pytest.fixture()
+def diamond():
+    """0 -> {1,2} -> 3, directed."""
+    return from_edges([(0, 1), (0, 2), (1, 3), (2, 3)], n=4)
+
+
+# -- expansion ---------------------------------------------------------------
+
+
+def test_expand_push(diamond):
+    P = PlainProblem(diamond)
+    srcs, dsts, eids, degs = expand_push(P, np.array([0, 1]))
+    assert srcs.tolist() == [0, 0, 1]
+    assert dsts.tolist() == [1, 2, 3]
+    assert degs.tolist() == [2, 1]
+    # edge ids index the CSR storage
+    assert np.array_equal(diamond.indices[eids], dsts)
+
+
+def test_expand_push_empty(diamond):
+    P = PlainProblem(diamond)
+    srcs, dsts, eids, degs = expand_push(P, np.array([3]))
+    assert len(srcs) == 0
+    assert degs.tolist() == [0]
+
+
+# -- advance (push) -------------------------------------------------------------
+
+
+def test_advance_vertex_to_vertex(diamond):
+    P = PlainProblem(diamond)
+    out = advance(P, Frontier.from_vertex(0), Functor())
+    assert sorted(out.items.tolist()) == [1, 2]
+    assert out.kind is FrontierKind.VERTEX
+
+
+def test_advance_vertex_to_edge(diamond):
+    P = PlainProblem(diamond)
+    out = advance(P, Frontier.from_vertex(0), Functor(), output_kind="edge")
+    assert out.kind is FrontierKind.EDGE
+    assert np.array_equal(diamond.indices[out.items], [1, 2])
+
+
+def test_advance_from_edge_frontier(diamond):
+    """An edge frontier advances from its destination endpoints."""
+    P = PlainProblem(diamond)
+    e = advance(P, Frontier.from_vertex(0), Functor(), output_kind="edge")
+    out = advance(P, e, Functor())
+    assert sorted(out.items.tolist()) == [3, 3]  # via 1 and via 2
+
+
+def test_advance_cond_masks(diamond):
+    class OnlyOdd(Functor):
+        def cond_edge(self, P, src, dst, eid):
+            return dst % 2 == 1
+
+    P = PlainProblem(diamond)
+    out = advance(P, Frontier.from_vertex(0), OnlyOdd())
+    assert out.items.tolist() == [1]
+
+
+def test_advance_apply_mask_narrows(diamond):
+    class ApplyDrop(Functor):
+        def apply_edge(self, P, src, dst, eid):
+            return dst > 1
+
+    P = PlainProblem(diamond)
+    out = advance(P, Frontier.from_vertex(0), ApplyDrop())
+    assert out.items.tolist() == [2]
+
+
+def test_advance_duplicates_preserved_without_dedupe(diamond):
+    P = PlainProblem(diamond)
+    out = advance(P, Frontier(np.array([1, 2])), Functor())
+    assert out.items.tolist() == [3, 3]
+
+
+def test_advance_dedupe_output(diamond):
+    P = PlainProblem(diamond)
+    out = advance(P, Frontier(np.array([1, 2])), Functor(), dedupe_output=True)
+    assert out.items.tolist() == [3]
+
+
+def test_advance_empty_frontier(diamond):
+    P = PlainProblem(diamond)
+    out = advance(P, Frontier.empty(), Functor())
+    assert out.is_empty
+
+
+def test_advance_functor_mask_length_checked(diamond):
+    class Bad(Functor):
+        def cond_edge(self, P, src, dst, eid):
+            return np.ones(1, dtype=bool)
+
+    P = PlainProblem(diamond)
+    with pytest.raises(ValueError):
+        advance(P, Frontier.from_vertex(0), Bad())
+
+
+def test_advance_unknown_mode(diamond):
+    P = PlainProblem(diamond)
+    with pytest.raises(ValueError):
+        advance(P, Frontier.from_vertex(0), Functor(), mode="sideways")
+
+
+def test_advance_charges_machine(diamond):
+    m = Machine()
+    P = PlainProblem(diamond, m)
+    advance(P, Frontier.from_vertex(0), Functor())
+    assert m.counters.kernel_launches == 1  # fused advance
+    assert m.counters.edges_visited == 2
+
+
+# -- advance (pull) -------------------------------------------------------------
+
+
+def test_advance_pull_equivalent_to_push(kron_graph):
+    class Label(Functor):
+        def cond_edge(self, P, src, dst, eid):
+            return P.labels[dst] < 0
+
+        def apply_edge(self, P, src, dst, eid):
+            P.labels[dst] = 1
+            return None
+
+    # one BFS step from vertex 0, both directions
+    P1 = PlainProblem(kron_graph)
+    P1.labels[0] = 0
+    out_push = advance(P1, Frontier.from_vertex(0), Label())
+
+    P2 = PlainProblem(kron_graph)
+    P2.labels[0] = 0
+    out_pull = advance(P2, Frontier.from_vertex(0), Label(), mode="pull")
+
+    assert np.array_equal(np.unique(out_push.items), np.unique(out_pull.items))
+    assert np.array_equal(P1.labels, P2.labels)
+
+
+def test_advance_pull_requires_vertex_output(diamond):
+    P = PlainProblem(diamond)
+    with pytest.raises(ValueError):
+        advance(P, Frontier.from_vertex(0), Functor(), mode="pull",
+                output_kind="edge")
+
+
+def test_advance_pull_no_duplicates(kron_graph):
+    """Pull admits each unvisited vertex at most once."""
+    P = PlainProblem(kron_graph)
+    P.labels[0] = 0
+    out = advance(P, Frontier.from_vertex(0), Functor(), mode="pull")
+    assert len(np.unique(out.items)) == len(out.items)
+
+
+def test_advance_pull_examines_fewer_edges_with_large_frontier(kron_graph):
+    """The early-exit payoff: from a huge frontier, pull touches fewer
+    edges than push."""
+
+    class Label(Functor):
+        def cond_edge(self, P, src, dst, eid):
+            return P.labels[dst] < 0
+
+        def apply_edge(self, P, src, dst, eid):
+            P.labels[dst] = 1
+            return None
+
+    n = kron_graph.n
+    big = np.arange(0, n, 2, dtype=np.int64)  # half the graph
+
+    m_push = Machine()
+    P1 = PlainProblem(kron_graph, m_push)
+    P1.labels[big] = 0
+    advance(P1, Frontier(big), Label())
+
+    m_pull = Machine()
+    P2 = PlainProblem(kron_graph, m_pull)
+    P2.labels[big] = 0
+    advance(P2, Frontier(big), Label(), mode="pull")
+
+    assert m_pull.counters.edges_visited < m_push.counters.edges_visited
+
+
+# -- filter -------------------------------------------------------------------
+
+
+def test_filter_cond(diamond):
+    class KeepOdd(Functor):
+        def cond_vertex(self, P, v):
+            return v % 2 == 1
+
+    P = PlainProblem(diamond)
+    out = filter_frontier(P, Frontier(np.arange(4)), KeepOdd())
+    assert out.items.tolist() == [1, 3]
+
+
+def test_filter_apply_runs_on_survivors(diamond):
+    class Mark(Functor):
+        def cond_vertex(self, P, v):
+            return v < 2
+
+        def apply_vertex(self, P, v):
+            P.labels[v] = 7
+            return None
+
+    P = PlainProblem(diamond)
+    filter_frontier(P, Frontier(np.arange(4)), Mark())
+    assert P.labels.tolist() == [7, 7, -1, -1]
+
+
+def test_filter_apply_mask_narrows(diamond):
+    class DropInApply(Functor):
+        def apply_vertex(self, P, v):
+            return v != 2
+
+    P = PlainProblem(diamond)
+    out = filter_frontier(P, Frontier(np.arange(4)), DropInApply())
+    assert out.items.tolist() == [0, 1, 3]
+
+
+def test_filter_edge_frontier(diamond):
+    class KeepToThree(Functor):
+        def cond_edge(self, P, src, dst, eid):
+            return dst == 3
+
+    P = PlainProblem(diamond)
+    out = filter_frontier(P, Frontier.all_edges(diamond.m), KeepToThree())
+    assert np.all(diamond.indices[out.items] == 3)
+    assert out.kind is FrontierKind.EDGE
+
+
+def test_filter_empty(diamond):
+    P = PlainProblem(diamond)
+    out = filter_frontier(P, Frontier.empty(), Functor())
+    assert out.is_empty
+
+
+def test_filter_charges_one_fused_kernel(diamond):
+    m = Machine()
+    P = PlainProblem(diamond, m)
+    filter_frontier(P, Frontier(np.arange(4)), Functor())
+    assert m.counters.kernel_launches == 1
+
+
+# -- idempotence heuristics -------------------------------------------------------
+
+
+def test_warp_cull_drops_within_warp_duplicates():
+    h = IdempotenceHeuristics(warp_size=4)
+    items = np.array([5, 5, 6, 5, 5, 7, 7, 8])
+    keep = h.warp_cull(items)
+    # warp 0: [5,5,6,5] -> keep first 5 and 6; warp 1: [5,7,7,8] -> 5,7,8
+    assert keep.tolist() == [True, False, True, False, True, True, False, True]
+
+
+def test_history_cull_drops_repeats():
+    h = IdempotenceHeuristics(history_bits=4)
+    first = h.history_cull(np.array([1, 2, 3]))
+    assert first.all()
+    again = h.history_cull(np.array([1, 2, 9]))
+    assert again.tolist() == [False, False, True]
+
+
+def test_history_cull_collision_keeps_different_items():
+    h = IdempotenceHeuristics(history_bits=2)  # 4 slots: 1 and 5 collide
+    h.history_cull(np.array([1]))
+    keep = h.history_cull(np.array([5]))
+    assert keep.tolist() == [True]  # different item, kept despite collision
+
+
+def test_heuristics_reduce_but_preserve_coverage(kron_graph):
+    """Heuristics may keep duplicates but must never drop ALL copies of a
+    vertex (at least one survives)."""
+    h = IdempotenceHeuristics()
+    P = PlainProblem(kron_graph)
+    rng = np.random.default_rng(0)
+    items = rng.integers(0, kron_graph.n, size=5000).astype(np.int64)
+    out = filter_frontier(P, Frontier(items), Functor(), heuristics=h)
+    assert len(out) < len(items)
+    assert set(np.unique(items)) == set(np.unique(out.items))
+
+
+def test_heuristics_reset():
+    h = IdempotenceHeuristics()
+    h.history_cull(np.array([1]))
+    h.reset()
+    assert h.history_cull(np.array([1])).all()
+
+
+# -- compute ---------------------------------------------------------------------
+
+
+def test_compute_applies(diamond):
+    class Inc(Functor):
+        def apply_vertex(self, P, v):
+            P.labels[v] = v * 10
+            return None
+
+    P = PlainProblem(diamond)
+    f = Frontier(np.array([1, 3]))
+    out = compute(P, f, Inc())
+    assert out is f  # frontier unchanged
+    assert P.labels.tolist() == [-1, 10, -1, 30]
+
+
+def test_compute_masked(diamond):
+    class Drop2(Functor):
+        def apply_vertex(self, P, v):
+            return v != 2
+
+    P = PlainProblem(diamond)
+    out = compute_masked(P, Frontier(np.arange(4)), Drop2())
+    assert out.items.tolist() == [0, 1, 3]
+
+
+def test_compute_edge_frontier(diamond):
+    seen = []
+
+    class Rec(Functor):
+        def apply_edge(self, P, src, dst, eid):
+            seen.append((src.tolist(), dst.tolist()))
+            return None
+
+    P = PlainProblem(diamond)
+    compute(P, Frontier.all_edges(diamond.m), Rec())
+    assert len(seen) == 1
+
+
+# -- priority queue --------------------------------------------------------------
+
+
+def _prio(P, v):
+    return v.astype(np.float64)
+
+
+def test_split_near_far(diamond):
+    P = PlainProblem(diamond)
+    near, far = split_near_far(P, Frontier(np.arange(4)), _prio, 2.0)
+    assert near.items.tolist() == [0, 1]
+    assert far.items.tolist() == [2, 3]
+
+
+def test_split_empty(diamond):
+    P = PlainProblem(diamond)
+    near, far = split_near_far(P, Frontier.empty(), _prio, 2.0)
+    assert near.is_empty and far.is_empty
+
+
+def test_split_bad_priority_fn(diamond):
+    P = PlainProblem(diamond)
+    with pytest.raises(ValueError):
+        split_near_far(P, Frontier(np.arange(4)),
+                       lambda P, v: np.zeros(1), 2.0)
+
+
+def test_near_far_pile_levels(diamond):
+    P = PlainProblem(diamond)
+    pile = NearFarPile(P, _prio, delta=2.0)
+    pile.push(Frontier(np.arange(6) % 4))
+    near1 = pile.pop_near()
+    assert set(near1.items.tolist()) == {0, 1}
+    near2 = pile.pop_near()
+    assert set(near2.items.tolist()) == {2, 3}
+    assert pile.level == 2
+    assert pile.pop_near().is_empty
+    assert pile.exhausted
+
+
+def test_near_far_pile_rejects_bad_delta(diamond):
+    P = PlainProblem(diamond)
+    with pytest.raises(ValueError):
+        NearFarPile(P, _prio, delta=0.0)
+
+
+# -- neighbor_reduce ---------------------------------------------------------------
+
+
+def test_neighbor_reduce_sum(diamond):
+    P = PlainProblem(diamond)
+    out = neighbor_reduce(P, Frontier(np.array([0, 1, 3])),
+                          lambda P, s, d, e: d.astype(float), op="sum")
+    assert out.tolist() == [3.0, 3.0, 0.0]
+
+
+def test_neighbor_reduce_min_max(diamond):
+    P = PlainProblem(diamond)
+    f = Frontier(np.array([0, 3]))
+    mn = neighbor_reduce(P, f, lambda P, s, d, e: d.astype(float), op="min")
+    mx = neighbor_reduce(P, f, lambda P, s, d, e: d.astype(float), op="max")
+    assert mn.tolist() == [1.0, np.inf]
+    assert mx.tolist() == [2.0, -np.inf]
+
+
+def test_neighbor_reduce_rejects_edge_frontier(diamond):
+    P = PlainProblem(diamond)
+    with pytest.raises(ValueError):
+        neighbor_reduce(P, Frontier.all_edges(diamond.m),
+                        lambda P, s, d, e: np.ones(len(s)))
+
+
+def test_neighbor_reduce_rejects_bad_op(diamond):
+    P = PlainProblem(diamond)
+    with pytest.raises(ValueError):
+        neighbor_reduce(P, Frontier.from_vertex(0),
+                        lambda P, s, d, e: np.ones(len(s)), op="median")
+
+
+def test_neighbor_reduce_rejects_bad_value_fn(diamond):
+    P = PlainProblem(diamond)
+    with pytest.raises(ValueError):
+        neighbor_reduce(P, Frontier.from_vertex(0),
+                        lambda P, s, d, e: np.ones(1))
+
+
+def test_neighbor_reduce_degree_via_ones(kron_graph):
+    P = PlainProblem(kron_graph)
+    f = Frontier.all_vertices(kron_graph.n)
+    out = neighbor_reduce(P, f, lambda P, s, d, e: np.ones(len(s)))
+    assert np.array_equal(out, kron_graph.out_degrees.astype(float))
+
+
+# -- sample ------------------------------------------------------------------------
+
+
+def test_sample_fraction(diamond):
+    P = PlainProblem(diamond)
+    f = Frontier(np.arange(100) % 4)
+    out = sample(P, f, 0.25, seed=1)
+    assert len(out) == 25
+
+
+def test_sample_full_is_identity(diamond):
+    P = PlainProblem(diamond)
+    f = Frontier(np.arange(4))
+    assert sample(P, f, 1.0) is f
+
+
+def test_sample_deterministic(diamond):
+    P = PlainProblem(diamond)
+    f = Frontier(np.arange(50))
+    a = sample(P, f, 0.3, seed=7)
+    b = sample(P, f, 0.3, seed=7)
+    assert np.array_equal(a.items, b.items)
+
+
+def test_sample_min_size(diamond):
+    P = PlainProblem(diamond)
+    f = Frontier(np.arange(10))
+    out = sample(P, f, 0.01, min_size=3, seed=1)
+    assert len(out) == 3
+
+
+def test_sample_rejects_bad_fraction(diamond):
+    P = PlainProblem(diamond)
+    with pytest.raises(ValueError):
+        sample(P, Frontier(np.arange(4)), 0.0)

@@ -1,0 +1,191 @@
+"""Generator tests: determinism, structural targets of the dataset twins."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, datasets, properties
+
+
+def test_rmat_determinism():
+    a = generators.rmat(8, seed=11)
+    b = generators.rmat(8, seed=11)
+    assert a == b
+
+
+def test_rmat_seed_sensitivity():
+    a = generators.rmat(8, seed=11)
+    b = generators.rmat(8, seed=12)
+    assert a != b
+
+
+def test_rmat_size():
+    g = generators.rmat(8, edge_factor=8, seed=1, undirected=False)
+    assert g.n == 256
+    # duplicates/self-loops removed, so at most the sampled count
+    assert 0 < g.m <= 8 * 256
+
+
+def test_rmat_skew():
+    """R-MAT with Graph500 parameters must be strongly skewed."""
+    g = generators.rmat(10, seed=1)
+    deg = g.out_degrees
+    assert deg.max() > 10 * deg.mean()
+
+
+def test_rmat_rejects_bad_params():
+    with pytest.raises(ValueError):
+        generators.rmat(-1)
+    with pytest.raises(ValueError):
+        generators.rmat(4, a=0.8, b=0.3, c=0.3)
+
+
+def test_kronecker_alias():
+    assert generators.kronecker(6, seed=2) == generators.rmat(6, edge_factor=16, seed=2)
+
+
+def test_road_grid_shape():
+    g = generators.road_grid(20, 10, seed=1)
+    assert g.n == 200
+    assert g.out_degrees.max() <= 8  # 4-neighborhood + diagonals, symmetrized
+    stats = properties.stats(g)
+    assert stats.n_components == 1  # the spanning comb guarantees this
+    assert stats.pseudo_diameter >= 20  # Theta(width + height)
+
+
+def test_road_grid_rejects_degenerate():
+    with pytest.raises(ValueError):
+        generators.road_grid(0, 5)
+
+
+def test_hub_graph_structure():
+    g = generators.hub_graph(3000, seed=2)
+    deg = g.out_degrees
+    assert int(np.argmax(deg)) == 0           # vertex 0 is the hub
+    assert deg[0] >= 3000 // 13               # ~n/12 hub degree
+    d = properties.pseudo_diameter(g, seed=0)
+    assert d > 100                            # backbone keeps it huge
+    stats = properties.stats(g)
+    assert stats.n_components == 1
+
+
+def test_hub_graph_rejects_tiny():
+    with pytest.raises(ValueError):
+        generators.hub_graph(4)
+
+
+def test_powerlaw_cluster_mean_degree():
+    g = generators.powerlaw_cluster(4000, avg_degree=12.0, seed=3)
+    avg = g.m / g.n
+    assert 6.0 < avg < 24.0  # cleaning perturbs, but the scale must hold
+
+
+def test_powerlaw_cluster_skew():
+    g = generators.powerlaw_cluster(4000, seed=3)
+    deg = g.out_degrees
+    assert deg.max() > 5 * deg.mean()
+
+
+def test_uniform_random_edge_count():
+    g = generators.uniform_random(500, 2000, seed=1, undirected=False)
+    assert 1500 < g.m <= 2000
+
+
+def test_star_and_path():
+    s = generators.star(10)
+    assert s.out_degrees[0] == 9
+    assert np.all(s.out_degrees[1:] == 1)
+    p = generators.path(10)
+    assert properties.pseudo_diameter(p) == 9
+
+
+def test_complete():
+    g = generators.complete(6)
+    assert g.m == 6 * 5
+    assert np.all(g.out_degrees == 5)
+
+
+def test_bipartite_powerlaw():
+    g, nl, nr = generators.bipartite_powerlaw(200, 100, seed=4)
+    assert g.n == 300
+    src = g.edge_sources
+    assert src.max() < nl            # edges only go left -> right
+    assert g.indices.min() >= nl
+
+
+# -- dataset twins ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", datasets.TABLE_ORDER)
+def test_dataset_loads(name):
+    g = datasets.load(name, scale=1 / 512)
+    assert g.n > 100
+    assert g.m > 0
+
+
+def test_dataset_unknown_name():
+    with pytest.raises(KeyError):
+        datasets.load("nope")
+
+
+def test_dataset_determinism():
+    a = datasets.load("kron", scale=1 / 512, seed=1)
+    b = datasets.load("kron", scale=1 / 512, seed=1)
+    assert a == b
+
+
+def test_soc_twin_structure():
+    g = datasets.load("soc", scale=1 / 512)
+    s = properties.stats(g, seed=1)
+    assert s.frac_degree_lt_128 > 0.85   # "90% of nodes have degree < 128"
+    assert s.pseudo_diameter <= 20       # short-diameter scale-free
+
+
+def test_bitcoin_twin_structure():
+    g = datasets.load("bitcoin", scale=1 / 512)
+    s = properties.stats(g, seed=1)
+    deg = g.out_degrees
+    assert deg.max() > 0.05 * g.n        # one enormous hub
+    assert s.frac_degree_lt_4 > 0.5      # mostly tiny degrees
+    # diameter scales as sqrt(scale) from the paper's 1041 (see datasets)
+    assert s.pseudo_diameter > 25
+
+
+def test_roadnet_twin_structure():
+    g = datasets.load("roadnet", scale=1 / 512)
+    s = properties.stats(g, seed=1)
+    assert g.out_degrees.max() <= 8
+    assert s.pseudo_diameter > 30
+
+
+def test_kron_scalability_series():
+    series = datasets.kron_scalability_series(min_logn=8, max_logn=10)
+    sizes = [g.n for g in series.values()]
+    assert sizes == [256, 512, 1024]
+    ms = [g.m for g in series.values()]
+    assert ms[1] > ms[0] and ms[2] > ms[1]
+
+
+# -- properties ---------------------------------------------------------------
+
+
+def test_pseudo_diameter_path():
+    assert properties.pseudo_diameter(generators.path(30), seed=0) == 29
+
+
+def test_pseudo_diameter_star():
+    assert properties.pseudo_diameter(generators.star(30), seed=0) == 2
+
+
+def test_stats_fields(kron_graph):
+    s = properties.stats(kron_graph)
+    assert s.n == kron_graph.n
+    assert s.m == kron_graph.m
+    assert 0.0 <= s.frac_degree_lt_4 <= 1.0
+    assert 0.0 < s.largest_component_frac <= 1.0
+    d = s.as_dict()
+    assert d["vertices"] == s.n
+
+
+def test_degree_quantiles(kron_graph):
+    q = properties.degree_quantiles(kron_graph)
+    assert q[0.5] <= q[0.9] <= q[0.99]

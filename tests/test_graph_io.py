@@ -1,0 +1,155 @@
+"""Graph file I/O round trips (edge list, MatrixMarket, DIMACS)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, io, with_random_weights
+
+
+@pytest.fixture()
+def g():
+    return generators.kronecker(7, seed=1)
+
+
+@pytest.fixture()
+def gw(g):
+    return with_random_weights(g, seed=2)
+
+
+def test_edgelist_roundtrip(tmp_path, g):
+    p = tmp_path / "g.txt"
+    io.write_edgelist(g, p)
+    back = io.read_edgelist(p, n=g.n)
+    assert back == g
+
+
+def test_edgelist_weighted_roundtrip(tmp_path, gw):
+    p = tmp_path / "g.txt"
+    io.write_edgelist(gw, p)
+    back = io.read_edgelist(p, n=gw.n)
+    assert back == gw
+
+
+def test_edgelist_skips_comments(tmp_path):
+    p = tmp_path / "g.txt"
+    p.write_text("# comment\n% other comment\n0 1\n\n1 2\n")
+    g = io.read_edgelist(p)
+    assert g.n == 3
+    assert g.m == 2
+
+
+def test_edgelist_rejects_malformed(tmp_path):
+    p = tmp_path / "g.txt"
+    p.write_text("0\n")
+    with pytest.raises(ValueError):
+        io.read_edgelist(p)
+
+
+def test_edgelist_rejects_mixed_weights(tmp_path):
+    p = tmp_path / "g.txt"
+    p.write_text("0 1 2.5\n1 2\n")
+    with pytest.raises(ValueError):
+        io.read_edgelist(p)
+
+
+def test_edgelist_undirected_flag(tmp_path):
+    p = tmp_path / "g.txt"
+    p.write_text("0 1\n")
+    g = io.read_edgelist(p, undirected=True)
+    assert g.m == 2
+
+
+def test_matrix_market_roundtrip(tmp_path, g):
+    p = tmp_path / "g.mtx"
+    io.write_matrix_market(g, p)
+    back = io.read_matrix_market(p)
+    assert back == g
+
+
+def test_matrix_market_weighted_roundtrip(tmp_path, gw):
+    p = tmp_path / "g.mtx"
+    io.write_matrix_market(gw, p)
+    back = io.read_matrix_market(p)
+    assert back == gw
+
+
+def test_matrix_market_symmetric_header(tmp_path):
+    p = tmp_path / "g.mtx"
+    p.write_text("%%MatrixMarket matrix coordinate pattern symmetric\n"
+                 "3 3 1\n1 2\n")
+    g = io.read_matrix_market(p)
+    assert g.m == 2  # symmetrized per the header
+
+
+def test_matrix_market_rejects_non_mm(tmp_path):
+    p = tmp_path / "g.mtx"
+    p.write_text("hello\n")
+    with pytest.raises(ValueError):
+        io.read_matrix_market(p)
+
+
+def test_matrix_market_rejects_rectangular(tmp_path):
+    p = tmp_path / "g.mtx"
+    p.write_text("%%MatrixMarket matrix coordinate pattern general\n3 4 0\n")
+    with pytest.raises(ValueError):
+        io.read_matrix_market(p)
+
+
+def test_dimacs_roundtrip(tmp_path, gw):
+    p = tmp_path / "g.gr"
+    io.write_dimacs(gw, p)
+    back = io.read_dimacs(p)
+    assert back == gw
+
+
+def test_dimacs_unweighted_writes_ones(tmp_path, g):
+    p = tmp_path / "g.gr"
+    io.write_dimacs(g, p)
+    back = io.read_dimacs(p)
+    assert np.all(back.edge_values == 1.0)
+    assert back.m == g.m
+
+
+def test_dimacs_rejects_garbage(tmp_path):
+    p = tmp_path / "g.gr"
+    p.write_text("p sp 2 1\nx 1 2 3\n")
+    with pytest.raises(ValueError):
+        io.read_dimacs(p)
+
+
+def test_networkx_roundtrip(g):
+    from repro.graph.build import from_networkx, to_networkx
+
+    nxg = to_networkx(g, directed=True)
+    back = from_networkx(nxg)
+    assert back == g
+
+
+def test_scipy_roundtrip(gw):
+    from repro.graph.build import from_scipy, to_scipy
+
+    back = from_scipy(to_scipy(gw))
+    assert back == gw
+
+
+def test_npz_roundtrip(tmp_path, g):
+    p = tmp_path / "g.npz"
+    io.write_npz(g, p)
+    assert io.read_npz(p) == g
+
+
+def test_npz_weighted_roundtrip(tmp_path, gw):
+    p = tmp_path / "g.npz"
+    io.write_npz(gw, p)
+    back = io.read_npz(p)
+    assert back == gw
+    assert back.edge_values is not None
+
+
+def test_npz_cli_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+
+    p = str(tmp_path / "g.npz")
+    assert main(["generate", "--generate", "kron:7", "--output", p]) == 0
+    assert main(["info", p]) == 0
+    assert "vertices" in capsys.readouterr().out

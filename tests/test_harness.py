@@ -1,0 +1,161 @@
+"""Harness tests: runner matrix, table rendering, tracing, audits."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import BglFramework, GunrockFramework
+from repro.graph import generators, datasets
+from repro.harness import (Matrix, Cell, geomean, run_cell, run_matrix,
+                           render_table1, render_table2, render_table3,
+                           render_speedup_summary, operator_flow, all_flows,
+                           render_flows, footprint, render_footprint,
+                           primitive_code_sizes, count_code_lines,
+                           PAPER_TABLE2_MS, PAPER_FLOWS)
+from repro.harness.runner import PRIMITIVES, _pick_source
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_matrix(scale=1 / 2048, primitives=("bfs", "cc"),
+                      dataset_names=("kron", "roadnet"),
+                      frameworks=[BglFramework(), GunrockFramework()])
+
+
+def test_run_matrix_shape(small_matrix):
+    assert len(small_matrix.cells) == 2 * 2 * 2
+    assert small_matrix.frameworks() == ["BGL", "Gunrock"]
+    assert small_matrix.datasets() == ["kron", "roadnet"]
+
+
+def test_matrix_get(small_matrix):
+    cell = small_matrix.get("Gunrock", "bfs", "kron")
+    assert cell is not None
+    assert cell.supported
+    assert cell.runtime_ms > 0
+    assert small_matrix.get("Nope", "bfs", "kron") is None
+
+
+def test_matrix_speedup(small_matrix):
+    sp = small_matrix.speedup("bfs", "kron", "Gunrock", "BGL")
+    assert sp is not None and sp > 0
+
+
+def test_run_cell_unsupported():
+    from repro.frameworks import MedusaFramework
+
+    g = generators.kronecker(7, seed=1)
+    cell = run_cell(MedusaFramework(), "bc", g, "kron")
+    assert not cell.supported
+    assert cell.runtime_ms is None
+
+
+def test_geomean():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([]) != geomean([])  # NaN
+    assert geomean([2.0, None, 8.0]) == pytest.approx(4.0)
+
+
+def test_pick_source():
+    g = generators.star(10)
+    assert _pick_source(g, 0) == 0
+    assert _pick_source(g, 5) == 5       # leaf still has degree 1
+    from repro.graph import from_edges
+
+    g2 = from_edges([(1, 2)], n=3)
+    assert _pick_source(g2, 0) == 1      # vertex 0 isolated -> max degree
+
+
+def test_primitives_constant():
+    assert PRIMITIVES == ["bfs", "sssp", "bc", "pagerank", "cc"]
+
+
+# -- tables ---------------------------------------------------------------------
+
+
+def test_render_table1_contains_rows():
+    from repro.graph import properties
+
+    stats = {name: properties.stats(datasets.load(name, scale=1 / 2048), seed=1)
+             for name in ("kron", "roadnet")}
+    text = render_table1(stats)
+    assert "kron" in text and "roadnet" in text
+    assert "paper" in text
+
+
+def test_render_table2(small_matrix):
+    text = render_table2(small_matrix, "bfs")
+    assert "BGL" in text and "Gunrock" in text
+    assert "MTEPS" in text
+
+
+def test_render_speedup_summary(small_matrix):
+    text = render_speedup_summary(small_matrix)
+    assert "Gunrock" in text
+    assert "bfs" in text
+
+
+def test_render_table3():
+    rows = [{"dataset": "kron_g500-logn8", "vertices": 256, "edges": 4000,
+             "bfs_ms": 1.0, "bc_ms": 2.0, "sssp_ms": 3.0, "cc_ms": 4.0,
+             "pagerank_ms": 5.0, "bfs_mteps": 10.0, "bc_mteps": 20.0,
+             "sssp_mteps": 30.0}]
+    text = render_table3(rows)
+    assert "kron_g500-logn8" in text
+
+
+def test_paper_table2_reference_complete():
+    for prim in PRIMITIVES:
+        assert prim in PAPER_TABLE2_MS
+        for ds in ("soc", "bitcoin", "kron", "roadnet"):
+            assert ds in PAPER_TABLE2_MS[prim]
+            assert "Gunrock" in PAPER_TABLE2_MS[prim][ds]
+
+
+# -- tracing -------------------------------------------------------------------
+
+
+def test_operator_flow_bfs():
+    g = generators.kronecker(8, seed=2)
+    assert operator_flow("bfs", g) == ["advance", "filter"]
+
+
+def test_operator_flow_unknown():
+    g = generators.kronecker(8, seed=2)
+    with pytest.raises(ValueError):
+        operator_flow("nope", g)
+
+
+def test_all_flows_and_render():
+    g = generators.kronecker(8, seed=2)
+    flows = all_flows(g)
+    assert set(flows) == set(PAPER_FLOWS)
+    text = render_flows(flows)
+    assert "bfs" in text and "loop" in text
+
+
+# -- memory / code size -----------------------------------------------------------
+
+
+def test_footprint_keys():
+    g = generators.kronecker(8, seed=2)
+    coeffs = footprint(g)
+    assert set(coeffs) == {"bfs", "sssp", "bc", "pagerank", "cc"}
+    for c in coeffs.values():
+        assert c["alpha"] >= 0 and c["beta"] > 0
+    assert "alpha" in render_footprint(g)
+
+
+def test_code_sizes():
+    sizes = primitive_code_sizes()
+    assert set(sizes) == {"bfs", "sssp", "bc", "pagerank", "cc"}
+    assert all(30 < n < 300 for n in sizes.values())
+
+
+def test_count_code_lines_ignores_comments_and_docstrings(tmp_path):
+    p = tmp_path / "mod.py"
+    p.write_text('"""module docstring\nspanning lines"""\n'
+                 "# comment\n\n"
+                 "def f():\n"
+                 '    """doc"""\n'
+                 "    return 1  # trailing comment\n")
+    assert count_code_lines(p) == 2  # def line + return line

@@ -1,0 +1,292 @@
+"""BC, PageRank, and CC correctness tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.build import to_networkx
+from repro.primitives import bc, cc, pagerank
+from repro.simt import Machine
+
+
+# -- betweenness centrality ---------------------------------------------------
+
+
+def brandes_reference(g, src):
+    """Single-source Brandes dependency accumulation (directed paths)."""
+    nxg = to_networkx(g)
+    sigma = {v: 0.0 for v in nxg.nodes()}
+    dist = {v: -1 for v in nxg.nodes()}
+    sigma[src] = 1.0
+    dist[src] = 0
+    order = []
+    queue = [src]
+    while queue:
+        nxt = []
+        for u in queue:
+            order.append(u)
+        for u in queue:
+            for v in nxg.successors(u):
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    nxt.append(v)
+        for u in queue:
+            for v in nxg.successors(u):
+                if dist[v] == dist[u] + 1:
+                    sigma[v] += sigma[u]
+        queue = sorted(set(nxt))
+    delta = {v: 0.0 for v in nxg.nodes()}
+    for u in reversed(order):
+        for v in nxg.successors(u):
+            if dist[v] == dist[u] + 1 and sigma[v] > 0:
+                delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v])
+    delta[src] = 0.0
+    return sigma, delta
+
+
+def test_bc_single_source_matches_reference(kron_graph):
+    r = bc(kron_graph, 0)
+    sigma_ref, delta_ref = brandes_reference(kron_graph, 0)
+    for v in range(kron_graph.n):
+        assert r.sigma[v] == pytest.approx(sigma_ref[v])
+        assert r.bc_values[v] == pytest.approx(delta_ref[v])
+
+
+def test_bc_all_sources_matches_networkx(tiny_graph):
+    r = bc(tiny_graph, None)
+    und = nx.Graph(to_networkx(tiny_graph))
+    ref = nx.betweenness_centrality(und, normalized=False)
+    # undirected convention: our directed accumulation counts each path
+    # twice (once per endpoint ordering)
+    for v in range(tiny_graph.n):
+        assert r.bc_values[v] / 2.0 == pytest.approx(ref[v])
+
+
+def test_bc_all_sources_matches_networkx_kron():
+    g = generators.kronecker(7, seed=5)
+    r = bc(g, None)
+    und = nx.Graph(to_networkx(g))
+    ref = nx.betweenness_centrality(und, normalized=False)
+    for v in range(g.n):
+        assert r.bc_values[v] / 2.0 == pytest.approx(ref[v], abs=1e-9)
+
+
+def test_bc_multi_source_accumulates(kron_graph):
+    r01 = bc(kron_graph, [0, 1])
+    r0 = bc(kron_graph, 0)
+    r1 = bc(kron_graph, 1)
+    assert np.allclose(r01.bc_values, r0.bc_values + r1.bc_values)
+
+
+def test_bc_normalize():
+    g = generators.star(10)
+    r = bc(g, None, normalize=True)
+    # star center lies on all (n-1)(n-2) ordered pairs of leaves
+    assert r.bc_values[0] == pytest.approx(1.0)
+
+
+def test_bc_source_out_of_range(kron_graph):
+    with pytest.raises(ValueError):
+        bc(kron_graph, kron_graph.n)
+
+
+def test_bc_path_graph():
+    g = generators.path(5)  # 0-1-2-3-4
+    r = bc(g, None)
+    # middle vertex lies on 2*(2*3)/... check against networkx
+    ref = nx.betweenness_centrality(nx.path_graph(5), normalized=False)
+    for v in range(5):
+        assert r.bc_values[v] / 2.0 == pytest.approx(ref[v])
+
+
+def test_bc_uses_atomics(kron_graph):
+    m = Machine()
+    bc(kron_graph, 0, machine=m)
+    assert m.counters.atomics_issued > 0
+
+
+# -- pagerank ------------------------------------------------------------------
+
+
+def test_pagerank_matches_networkx(kron_graph):
+    r = pagerank(kron_graph, tolerance=1e-10)
+    ref = nx.pagerank(to_networkx(kron_graph), alpha=0.85, tol=1e-12,
+                      max_iter=1000)
+    ours = r.normalized()
+    for v in range(kron_graph.n):
+        assert ours[v] == pytest.approx(ref[v], abs=1e-6)
+
+
+def test_pagerank_road(road_graph):
+    r = pagerank(road_graph, tolerance=1e-10)
+    ref = nx.pagerank(to_networkx(road_graph), alpha=0.85, tol=1e-12,
+                      max_iter=1000)
+    ours = r.normalized()
+    for v in range(road_graph.n):
+        assert ours[v] == pytest.approx(ref[v], abs=1e-6)
+
+
+def test_pagerank_ranks_hub_highest(hub_graph):
+    r = pagerank(hub_graph)
+    assert int(np.argmax(r.rank)) == 0
+
+
+def test_pagerank_sum_close_to_one(road_graph):
+    """Without dangling vertices, total rank is conserved at 1.  (Dangling
+    vertices retain their mass rather than teleporting it, so graphs with
+    isolated vertices sum below 1 — see the pagerank docstring.)"""
+    assert (road_graph.out_degrees > 0).all()
+    r = pagerank(road_graph, tolerance=1e-12)
+    assert r.rank.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_pagerank_dangling_mass_retained(tiny_graph):
+    """An isolated vertex keeps its base rank; totals stay below 1."""
+    r = pagerank(tiny_graph, tolerance=1e-12)
+    n = tiny_graph.n
+    assert r.rank[5] == pytest.approx((1 - 0.85) / n)
+    assert r.rank.sum() < 1.0
+
+
+def test_pagerank_single_iteration(kron_graph):
+    r = pagerank(kron_graph, max_iterations=1)
+    assert r.iterations == 1
+
+
+def test_pagerank_tolerance_controls_iterations(kron_graph):
+    loose = pagerank(kron_graph, tolerance=1e-3)
+    tight = pagerank(kron_graph, tolerance=1e-9)
+    assert tight.iterations > loose.iterations
+
+
+def test_pagerank_damping_validation(kron_graph):
+    with pytest.raises(ValueError):
+        pagerank(kron_graph, damping=1.5)
+
+
+def test_pagerank_frontier_shrinks(kron_graph):
+    r = pagerank(kron_graph, tolerance=1e-8)
+    trace = r.enactor_stats.trace
+    sizes = [e.out_size for e in trace if e.op == "filter"]
+    assert sizes[-1] < sizes[0]
+
+
+def test_pagerank_deterministic(kron_graph):
+    a = pagerank(kron_graph).rank
+    b = pagerank(kron_graph).rank
+    assert np.array_equal(a, b)
+
+
+# -- connected components ---------------------------------------------------------
+
+
+def scipy_components(g):
+    import scipy.sparse as sp
+    from scipy.sparse.csgraph import connected_components
+
+    mat = sp.csr_matrix((np.ones(g.m, dtype=np.int8), g.indices, g.indptr),
+                        shape=(g.n, g.n))
+    return connected_components(mat, directed=True, connection="weak")
+
+
+def assert_same_partition(g, ids):
+    k, ref = scipy_components(g)
+    assert len(np.unique(ids)) == k
+    for comp in range(k):
+        members = ids[ref == comp]
+        assert len(np.unique(members)) == 1
+
+
+@pytest.mark.parametrize("alternate", [False, True])
+def test_cc_partition_kron(kron_graph, alternate):
+    r = cc(kron_graph, alternate=alternate)
+    assert_same_partition(kron_graph, r.component_ids)
+
+
+def test_cc_partition_road(road_graph):
+    r = cc(road_graph)
+    assert_same_partition(road_graph, r.component_ids)
+
+
+def test_cc_partition_hub(hub_graph):
+    r = cc(hub_graph)
+    assert_same_partition(hub_graph, r.component_ids)
+
+
+def test_cc_labels_are_component_minima(kron_graph):
+    """Monotonic min-hooking labels every component by its smallest id."""
+    r = cc(kron_graph)
+    ids = r.component_ids
+    for root in np.unique(ids):
+        members = np.flatnonzero(ids == root)
+        assert members.min() == root
+
+
+def test_cc_isolated_vertices(tiny_graph):
+    r = cc(tiny_graph)
+    assert r.component_ids[5] == 5  # isolated vertex is its own component
+    assert r.num_components == 2
+
+
+def test_cc_empty_graph():
+    from repro.graph import from_edges
+
+    g = from_edges([], n=4)
+    r = cc(g)
+    assert r.num_components == 4
+
+
+def test_cc_monotone_converges_faster_than_alternating(kron_graph):
+    """Both schedules compute the same partition (labels may differ: the
+    alternating schedule can root a component at a non-minimal id), but
+    the monotone default avoids the star-thrash pathology."""
+    fast = cc(kron_graph)
+    slow = cc(kron_graph, alternate=True)
+    assert fast.iterations < slow.iterations
+    assert_same_partition(kron_graph, slow.component_ids)
+    # same partition: identical grouping under both labelings
+    remap = {}
+    for a, b in zip(fast.component_ids.tolist(), slow.component_ids.tolist()):
+        assert remap.setdefault(a, b) == b
+
+
+def test_cc_deterministic(kron_graph):
+    assert np.array_equal(cc(kron_graph).component_ids,
+                          cc(kron_graph).component_ids)
+
+
+# -- gather-reduce PageRank (Section 7) ----------------------------------------
+
+
+def test_pagerank_gather_matches_scatter(kron_graph):
+    from repro.primitives import pagerank_gather
+
+    a = pagerank(kron_graph, tolerance=1e-10)
+    b = pagerank_gather(kron_graph, tolerance=1e-10)
+    # same fixpoint within the truncation tolerance: the scatter variant
+    # drops sub-tolerance residuals (its frontier shrinks), the gather
+    # variant keeps collecting them
+    assert np.allclose(a.rank, b.rank, rtol=1e-4, atol=1e-6)
+
+
+def test_pagerank_gather_matches_networkx(kron_graph):
+    from repro.primitives import pagerank_gather
+
+    r = pagerank_gather(kron_graph, tolerance=1e-10)
+    ref = nx.pagerank(to_networkx(kron_graph), alpha=0.85, tol=1e-12,
+                      max_iter=1000)
+    total = r.rank.sum()
+    for v in range(kron_graph.n):
+        assert r.rank[v] / total == pytest.approx(ref[v], abs=1e-6)
+
+
+def test_pagerank_gather_is_atomics_free(kron_graph):
+    from repro.primitives import pagerank_gather
+
+    m = Machine()
+    pagerank_gather(kron_graph, machine=m, max_iterations=5)
+    assert m.counters.atomics_issued == 0
+    m2 = Machine()
+    pagerank(kron_graph, machine=m2, max_iterations=5)
+    assert m2.counters.atomics_issued > 0

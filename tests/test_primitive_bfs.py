@@ -1,0 +1,147 @@
+"""BFS correctness across all configurations, validated against NetworkX."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.loadbalance import Hybrid, LBPartitioned, ThreadMapped, TWC
+from repro.graph.build import to_networkx
+from repro.primitives import bfs
+from repro.simt import Machine
+
+
+def nx_depths(g, src):
+    return nx.single_source_shortest_path_length(to_networkx(g), src)
+
+
+def assert_matches_nx(g, result, src):
+    ref = nx_depths(g, src)
+    reached = result.labels >= 0
+    assert int(reached.sum()) == len(ref)
+    for v, d in ref.items():
+        assert result.labels[v] == d
+
+
+@pytest.mark.parametrize("idempotent", [True, False])
+@pytest.mark.parametrize("direction", ["push", "pull", "auto"])
+def test_bfs_matches_networkx_kron(kron_graph, idempotent, direction):
+    r = bfs(kron_graph, 0, idempotent=idempotent, direction=direction)
+    assert_matches_nx(kron_graph, r, 0)
+
+
+@pytest.mark.parametrize("direction", ["push", "auto"])
+def test_bfs_matches_networkx_road(road_graph, direction):
+    r = bfs(road_graph, 5, direction=direction)
+    assert_matches_nx(road_graph, r, 5)
+
+
+def test_bfs_hub_graph(hub_graph):
+    r = bfs(hub_graph, 0)
+    assert_matches_nx(hub_graph, r, 0)
+
+
+@pytest.mark.parametrize("lb", [ThreadMapped(), ThreadMapped(False), TWC(),
+                                LBPartitioned(), Hybrid()])
+def test_bfs_identical_results_across_load_balancers(kron_graph, lb):
+    """Load balancing is cost-only: results must be bit-identical."""
+    ref = bfs(kron_graph, 0, lb=Hybrid()).labels
+    out = bfs(kron_graph, 0, lb=lb).labels
+    assert np.array_equal(ref, out)
+
+
+def test_bfs_unreachable_marked(tiny_graph):
+    r = bfs(tiny_graph, 0)
+    assert r.labels[5] == -1  # isolated vertex
+
+
+def test_bfs_source_depth_zero(tiny_graph):
+    r = bfs(tiny_graph, 0)
+    assert r.labels[0] == 0
+
+
+def test_bfs_preds_form_valid_tree(kron_graph):
+    r = bfs(kron_graph, 0)
+    labels, preds = r.labels, r.preds
+    assert preds[0] == 0
+    reached = np.flatnonzero(labels > 0)
+    # every reached vertex's predecessor is exactly one level shallower
+    assert np.all(labels[preds[reached]] == labels[reached] - 1)
+    # and the tree edge exists in the graph
+    for v in reached[:200]:
+        assert v in kron_graph.neighbors(int(preds[v]))
+
+
+def test_bfs_no_preds_mode(kron_graph):
+    r = bfs(kron_graph, 0, record_preds=False)
+    assert r.preds is None
+
+
+def test_bfs_source_out_of_range(tiny_graph):
+    with pytest.raises(ValueError):
+        bfs(tiny_graph, 99)
+
+
+def test_bfs_max_iterations(road_graph):
+    r = bfs(road_graph, 0, max_iterations=2)
+    assert r.labels.max() <= 2
+
+
+def test_bfs_atomic_mode_duplicate_free_frontiers(kron_graph):
+    """Non-idempotent advance must never grow the frontier beyond n."""
+    m = Machine()
+    r = bfs(kron_graph, 0, idempotent=False, machine=m)
+    assert m.counters.frontier_peak <= kron_graph.n
+    assert_matches_nx(kron_graph, r, 0)
+
+
+def test_bfs_idempotent_avoids_atomics(kron_graph):
+    m_idem = Machine()
+    bfs(kron_graph, 0, idempotent=True, direction="push", machine=m_idem)
+    m_atomic = Machine()
+    bfs(kron_graph, 0, idempotent=False, direction="push", machine=m_atomic)
+    assert m_idem.counters.atomics_issued == 0
+    assert m_atomic.counters.atomics_issued > 0
+
+
+def test_bfs_direction_auto_switches_on_scale_free(kron_graph):
+    m = Machine()
+    bfs(kron_graph, 0, direction="auto", machine=m)
+    names = {k.name for k in m.counters.kernels}
+    assert any("pull" in n for n in names)   # it did switch
+    assert any("push" in n for n in names)   # and started with push
+
+
+def test_bfs_pull_visits_fewer_edges_on_scale_free(kron_graph):
+    m_push = Machine()
+    bfs(kron_graph, 0, direction="push", machine=m_push)
+    m_auto = Machine()
+    bfs(kron_graph, 0, direction="auto", machine=m_auto)
+    assert m_auto.counters.edges_visited < m_push.counters.edges_visited
+
+
+def test_bfs_deterministic(kron_graph):
+    a = bfs(kron_graph, 0)
+    b = bfs(kron_graph, 0)
+    assert np.array_equal(a.labels, b.labels)
+    assert np.array_equal(a.preds, b.preds)
+
+
+def test_bfs_result_metadata(kron_graph):
+    m = Machine()
+    r = bfs(kron_graph, 0, machine=m)
+    assert r.iterations > 0
+    assert r.elapsed_ms > 0
+    assert r.mteps() > 0
+    assert r.enactor_stats is not None
+
+
+def test_bfs_without_machine(kron_graph):
+    r = bfs(kron_graph, 0)
+    assert r.elapsed_ms is None
+    assert r.mteps() is None
+
+
+def test_bfs_every_source_on_tiny(tiny_graph):
+    for src in range(tiny_graph.n):
+        r = bfs(tiny_graph, src)
+        assert_matches_nx(tiny_graph, r, src)

@@ -1,0 +1,193 @@
+"""Bipartite primitives: HITS, SALSA, personalized PageRank, who-to-follow."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.build import to_networkx
+from repro import primitives as P
+from repro.simt import Machine
+
+
+@pytest.fixture(scope="module")
+def bp():
+    g, nl, nr = generators.bipartite_powerlaw(300, 150, seed=3)
+    return P.BipartiteGraph(g, nl, nr)
+
+
+@pytest.fixture(scope="module")
+def follow_graph():
+    return generators.kronecker(9, seed=11, undirected=False)
+
+
+# -- BipartiteGraph -----------------------------------------------------------------
+
+
+def test_bipartite_validation():
+    from repro.graph import from_edges
+
+    g = from_edges([(0, 2), (1, 2)], n=3)
+    bp = P.BipartiteGraph(g, 2, 1)
+    assert bp.left_vertices().tolist() == [0, 1]
+    assert bp.right_vertices().tolist() == [2]
+    with pytest.raises(ValueError):
+        P.BipartiteGraph(g, 1, 1)  # wrong total
+    bad = from_edges([(2, 0)], n=3)
+    with pytest.raises(ValueError):
+        P.BipartiteGraph(bad, 2, 1)  # edge starts on the right
+
+
+def test_bipartite_degrees(bp):
+    assert bp.left_degrees().sum() == bp.graph.m
+    assert bp.right_degrees().sum() == bp.graph.m
+
+
+# -- HITS -------------------------------------------------------------------------
+
+
+def test_hits_matches_networkx(bp):
+    r = P.hits(bp, max_iterations=200, tolerance=1e-12)
+    hub_ref, auth_ref = nx.hits(to_networkx(bp.graph), max_iter=1000,
+                                tol=1e-12)
+    hub = r.hub[:bp.n_left]
+    ref = np.array([hub_ref[v] for v in range(bp.n_left)])
+    hub = hub / hub.sum()
+    ref = ref / ref.sum()
+    assert np.allclose(hub, ref, atol=1e-6)
+
+
+def test_hits_scores_normalized(bp):
+    r = P.hits(bp)
+    assert np.linalg.norm(r.hub) == pytest.approx(1.0)
+    assert np.linalg.norm(r.auth) == pytest.approx(1.0)
+
+
+def test_hits_sides_separated(bp):
+    r = P.hits(bp)
+    assert np.all(r.hub[bp.n_left:] == 0)
+    assert np.all(r.auth[:bp.n_left] == 0)
+
+
+# -- SALSA -------------------------------------------------------------------------
+
+
+def test_salsa_hub_scores_sum_to_one(bp):
+    r = P.salsa(bp)
+    assert r.hub[:bp.n_left].sum() == pytest.approx(1.0)
+
+
+def test_salsa_stationary_is_degree_proportional_when_connected():
+    """On a connected bipartite graph, the alternating walk's stationary
+    hub distribution is proportional to out-degree (standard SALSA fact
+    per connected component of the co-citation graph)."""
+    from repro.graph import from_edges
+
+    # complete bipartite K_{3,2}
+    edges = [(i, 3 + j) for i in range(3) for j in range(2)]
+    g = from_edges(edges, n=5)
+    bp = P.BipartiteGraph(g, 3, 2)
+    r = P.salsa(bp, max_iterations=500, tolerance=1e-14)
+    deg = bp.left_degrees().astype(float)
+    assert np.allclose(r.hub[:3], deg / deg.sum(), atol=1e-8)
+
+
+def test_salsa_auth_ranking_favors_popular(bp):
+    r = P.salsa(bp)
+    auth = r.auth[bp.n_left:]
+    indeg = bp.right_degrees().astype(float)
+    # strong rank correlation between authority score and in-degree
+    top_by_auth = set(np.argsort(-auth)[:10].tolist())
+    top_by_deg = set(np.argsort(-indeg)[:30].tolist())
+    assert len(top_by_auth & top_by_deg) >= 5
+
+
+# -- personalized PageRank -----------------------------------------------------------
+
+
+def test_ppr_matches_networkx(follow_graph):
+    r = P.ppr(follow_graph, 0, tolerance=1e-12)
+    ref = nx.pagerank(to_networkx(follow_graph), alpha=0.85,
+                      personalization={v: 1.0 if v == 0 else 0.0
+                                       for v in range(follow_graph.n)},
+                      tol=1e-14, max_iter=2000)
+    ours = r.rank / r.rank.sum()
+    for v in range(follow_graph.n):
+        assert ours[v] == pytest.approx(ref[v], abs=1e-5)
+
+
+def test_ppr_mass_concentrates_near_seed(follow_graph):
+    r = P.ppr(follow_graph, 0, tolerance=1e-10)
+    from repro.primitives import bfs
+
+    depth = bfs(follow_graph, 0).labels
+    near = r.rank[(depth >= 0) & (depth <= 1)].sum()
+    far = r.rank[depth > 2].sum()
+    assert near > far
+
+
+def test_ppr_multi_seed(follow_graph):
+    r = P.ppr(follow_graph, [0, 1, 2], tolerance=1e-10)
+    assert r.rank[[0, 1, 2]].min() > 0
+
+
+def test_ppr_rejects_bad_seed(follow_graph):
+    with pytest.raises(ValueError):
+        P.ppr(follow_graph, follow_graph.n)
+    with pytest.raises(ValueError):
+        P.ppr(follow_graph, [])
+
+
+def test_ppr_top_excludes(follow_graph):
+    r = P.ppr(follow_graph, 0, tolerance=1e-10)
+    top = r.top(5, exclude=np.array([0]))
+    assert 0 not in top.tolist()
+
+
+# -- who-to-follow -------------------------------------------------------------------
+
+
+def test_wtf_pipeline(follow_graph):
+    r = P.who_to_follow(follow_graph, 0, k=5)
+    followed = set(follow_graph.neighbors(0).tolist())
+    assert len(r.recommendations) <= 5
+    for v in r.recommendations.tolist():
+        assert v not in followed
+        assert v != 0
+    assert len(r.circle) > 0
+    assert 0 not in r.similar_users.tolist()
+
+
+def test_wtf_cold_start():
+    from repro.graph import from_edges
+
+    g = from_edges([(1, 2)], n=3)
+    r = P.who_to_follow(g, 0, k=5)  # vertex 0 follows nobody
+    assert len(r.recommendations) == 0
+
+
+def test_wtf_rejects_bad_user(follow_graph):
+    with pytest.raises(ValueError):
+        P.who_to_follow(follow_graph, -1)
+
+
+def test_circle_of_trust_ranked(follow_graph):
+    circle = P.circle_of_trust(follow_graph, 0, size=50)
+    assert len(circle) <= 50
+    assert 0 not in circle.tolist()
+
+
+def test_induced_bipartite_structure(follow_graph):
+    hubs = np.array([0, 1, 2], dtype=np.int64)
+    bp = P.induced_bipartite(follow_graph, hubs)
+    assert bp.n_left == 3
+    # every left vertex's edges land on the right side
+    if bp.graph.m:
+        assert bp.graph.edge_sources.max() < 3
+
+
+def test_bipartite_primitives_charge_machine(bp):
+    m = Machine()
+    P.salsa(bp, machine=m, max_iterations=5)
+    assert m.counters.kernel_launches > 0
+    assert m.counters.atomics_issued > 0

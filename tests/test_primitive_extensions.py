@@ -1,0 +1,233 @@
+"""Extension primitives (Section 5.5's in-development list + Section 7):
+coloring, MIS, MST, triangles, k-core, label propagation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import generators, with_random_weights
+from repro.graph.build import to_networkx
+from repro import primitives as P
+from repro.simt import Machine
+
+
+@pytest.fixture(scope="module")
+def g():
+    return generators.kronecker(8, seed=7)
+
+
+@pytest.fixture(scope="module")
+def gw(g):
+    return with_random_weights(g, seed=2)
+
+
+@pytest.fixture(scope="module")
+def und(g):
+    return nx.Graph(to_networkx(g))
+
+
+# -- coloring -------------------------------------------------------------------
+
+
+def test_coloring_proper(g):
+    r = P.color(g, seed=1)
+    src, dst = g.edge_sources, g.indices
+    assert (r.colors >= 0).all()
+    assert (r.colors[src] != r.colors[dst]).all()
+
+
+def test_coloring_bounded_by_max_degree_plus_one(g):
+    r = P.color(g, seed=1)
+    assert r.num_colors <= int(g.out_degrees.max()) + 1
+
+
+def test_coloring_road(road_graph):
+    r = P.color(road_graph, seed=3)
+    src, dst = road_graph.edge_sources, road_graph.indices
+    assert (r.colors[src] != r.colors[dst]).all()
+    # grids are nearly bipartite: very few colors needed
+    assert r.num_colors <= 8
+
+
+def test_coloring_deterministic(g):
+    assert np.array_equal(P.color(g, seed=5).colors, P.color(g, seed=5).colors)
+
+
+def test_coloring_star():
+    s = generators.star(20)
+    r = P.color(s, seed=0)
+    assert r.num_colors == 2
+
+
+# -- maximal independent set ----------------------------------------------------------
+
+
+def assert_valid_mis(g, in_set):
+    src, dst = g.edge_sources, g.indices
+    assert not (in_set[src] & in_set[dst]).any()  # independent
+    for v in range(g.n):  # maximal
+        if not in_set[v]:
+            nb = g.neighbors(v)
+            assert len(nb) > 0 and in_set[nb].any()
+
+
+def test_mis_valid(g):
+    r = P.mis(g, seed=1)
+    assert_valid_mis(g, r.in_set)
+
+
+def test_mis_valid_road(road_graph):
+    r = P.mis(road_graph, seed=2)
+    assert_valid_mis(road_graph, r.in_set)
+
+
+def test_mis_isolated_vertices_join(tiny_graph):
+    r = P.mis(tiny_graph, seed=0)
+    assert r.in_set[5]  # isolated vertex must be in every MIS
+
+
+def test_mis_logarithmic_rounds(g):
+    r = P.mis(g, seed=1)
+    assert r.iterations <= 4 * int(np.log2(g.n)) + 4
+
+
+# -- minimum spanning tree ---------------------------------------------------------------
+
+
+def test_mst_weight_matches_networkx(gw):
+    r = P.mst(gw)
+    ref = nx.minimum_spanning_tree(nx.Graph(to_networkx(gw)), weight="weight")
+    refw = sum(d["weight"] for _, _, d in ref.edges(data=True))
+    assert r.total_weight(gw) == pytest.approx(refw)
+
+
+def test_mst_weight_road(road_weighted):
+    r = P.mst(road_weighted)
+    ref = nx.minimum_spanning_tree(nx.Graph(to_networkx(road_weighted)),
+                                   weight="weight")
+    refw = sum(d["weight"] for _, _, d in ref.edges(data=True))
+    assert r.total_weight(road_weighted) == pytest.approx(refw)
+
+
+def test_mst_forest_is_acyclic_and_spanning(gw):
+    r = P.mst(gw)
+    eids = np.flatnonzero(r.in_mst)
+    src = gw.edge_sources[eids]
+    dst = gw.indices[eids]
+    f = nx.Graph()
+    f.add_nodes_from(range(gw.n))
+    f.add_edges_from(zip(src.tolist(), dst.tolist()))
+    assert nx.is_forest(f)
+    assert nx.number_connected_components(f) == \
+        nx.number_connected_components(nx.Graph(to_networkx(gw)))
+
+
+def test_mst_unit_weights_spanning_tree_size():
+    g = generators.road_grid(10, 10, drop_prob=0.0, diag_prob=0.0, seed=1)
+    r = P.mst(g)
+    # connected graph, unit weights: any spanning tree has n-1 edges
+    assert r.total_weight(g) == g.n - 1
+
+
+# -- triangles ----------------------------------------------------------------------------
+
+
+def test_triangle_count_matches_networkx(g, und):
+    r = P.triangle_count(g)
+    assert r.total == sum(nx.triangles(und).values()) // 3
+
+
+def test_triangle_per_vertex(g, und):
+    r = P.triangle_count(g)
+    ref = nx.triangles(und)
+    for v in range(g.n):
+        assert r.per_vertex[v] == ref[v]
+
+
+def test_triangle_count_complete():
+    g = generators.complete(8)
+    r = P.triangle_count(g)
+    assert r.total == 8 * 7 * 6 // 6
+
+
+def test_triangle_count_triangle_free():
+    r = P.triangle_count(generators.path(20))
+    assert r.total == 0
+
+
+# -- k-core ---------------------------------------------------------------------------------
+
+
+def test_kcore_matches_networkx(g, und):
+    r = P.kcore(g)
+    ref = nx.core_number(und)
+    for v in range(g.n):
+        assert r.core_numbers[v] == ref[v]
+
+
+def test_kcore_road(road_graph):
+    r = P.kcore(road_graph)
+    ref = nx.core_number(nx.Graph(to_networkx(road_graph)))
+    for v in range(road_graph.n):
+        assert r.core_numbers[v] == ref[v]
+
+
+def test_kcore_members_nested(g):
+    r = P.kcore(g)
+    prev = set(range(g.n))
+    for k in range(1, r.max_core + 1):
+        cur = set(r.core_members(k).tolist())
+        assert cur <= prev
+        prev = cur
+
+
+# -- label propagation --------------------------------------------------------------------------
+
+
+def test_label_prop_converges_on_disjoint_cliques():
+    import numpy as np
+    from repro.graph import from_edges
+
+    edges = []
+    for base in (0, 5):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                edges.append((base + i, base + j))
+    g = from_edges(edges, n=10, undirected=True)
+    r = P.label_propagation(g)
+    assert r.num_communities == 2
+    assert len(set(r.labels[:5].tolist())) == 1
+    assert len(set(r.labels[5:].tolist())) == 1
+
+
+def test_label_prop_respects_components(g):
+    r = P.label_propagation(g, max_iterations=200)
+    comp = P.cc(g).component_ids
+    # labels never leak across components
+    for lab in np.unique(r.labels):
+        members = np.flatnonzero(r.labels == lab)
+        assert len(np.unique(comp[members])) == 1
+
+
+def test_label_prop_deterministic(g):
+    a = P.label_propagation(g).labels
+    b = P.label_propagation(g).labels
+    assert np.array_equal(a, b)
+
+
+# -- machine integration --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fn", [
+    lambda g, m: P.color(g, machine=m),
+    lambda g, m: P.mis(g, machine=m),
+    lambda g, m: P.mst(g, machine=m),
+    lambda g, m: P.triangle_count(g, machine=m),
+    lambda g, m: P.kcore(g, machine=m),
+    lambda g, m: P.label_propagation(g, machine=m, max_iterations=20),
+])
+def test_extensions_charge_machine(g, fn):
+    m = Machine()
+    fn(g, m)
+    assert m.counters.cycles > 0
+    assert m.counters.kernel_launches > 0

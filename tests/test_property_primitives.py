@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) on primitive invariants over random
+graphs — the 'any graph, any seed' guarantees unit tests cannot give."""
+
+import numpy as np
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Coo, from_edges
+from repro.graph.build import to_networkx
+from repro import primitives as P
+
+
+@st.composite
+def undirected_graphs(draw, max_n=14, max_m=40):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=m, max_size=m))
+    arr = np.asarray(edges, dtype=np.int64)
+    coo = Coo(arr[:, 0], arr[:, 1], n).without_self_loops()
+    if coo.m == 0:
+        coo = Coo(np.array([0]), np.array([1]), n)
+    return coo.symmetrized().to_csr()
+
+
+@st.composite
+def weighted_graphs(draw):
+    g = draw(undirected_graphs())
+    seed = draw(st.integers(0, 2**31))
+    from repro.graph.build import with_random_weights
+
+    return with_random_weights(g, seed=seed)
+
+
+@given(undirected_graphs(), st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_cc_is_a_valid_partition(g, seed):
+    r = P.cc(g)
+    und = nx.Graph(to_networkx(g))
+    und.add_nodes_from(range(g.n))
+    for comp in nx.connected_components(und):
+        ids = {int(r.component_ids[v]) for v in comp}
+        assert len(ids) == 1
+
+
+@given(undirected_graphs(), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_coloring_always_proper(g, seed):
+    r = P.color(g, seed=seed)
+    src, dst = g.edge_sources, g.indices
+    mask = src != dst
+    assert (r.colors[src[mask]] != r.colors[dst[mask]]).all()
+    assert (r.colors >= 0).all()
+
+
+@given(undirected_graphs(), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_mis_always_independent_and_maximal(g, seed):
+    r = P.mis(g, seed=seed)
+    in_set = r.in_set
+    src, dst = g.edge_sources, g.indices
+    assert not (in_set[src] & in_set[dst]).any()
+    for v in range(g.n):
+        if not in_set[v]:
+            nb = g.neighbors(v)
+            assert len(nb) and in_set[nb].any()
+
+
+@given(weighted_graphs())
+@settings(max_examples=30, deadline=None)
+def test_mst_weight_always_optimal(g):
+    r = P.mst(g)
+    ref = nx.minimum_spanning_tree(nx.Graph(to_networkx(g)), weight="weight")
+    refw = sum(d["weight"] for _, _, d in ref.edges(data=True))
+    assert r.total_weight(g) == refw
+
+
+@given(weighted_graphs(), st.integers(0, 13))
+@settings(max_examples=30, deadline=None)
+def test_sssp_always_matches_dijkstra(g, src):
+    src = src % g.n
+    r = P.sssp(g, src)
+    ref = nx.single_source_dijkstra_path_length(to_networkx(g), src,
+                                                weight="weight")
+    for v in range(g.n):
+        if v in ref:
+            assert r.labels[v] == ref[v]
+        else:
+            assert np.isinf(r.labels[v])
+
+
+@given(undirected_graphs())
+@settings(max_examples=30, deadline=None)
+def test_kcore_always_matches_networkx(g):
+    r = P.kcore(g)
+    und = nx.Graph(to_networkx(g))
+    und.add_nodes_from(range(g.n))
+    ref = nx.core_number(und)
+    for v in range(g.n):
+        assert r.core_numbers[v] == ref[v]
+
+
+@given(undirected_graphs())
+@settings(max_examples=30, deadline=None)
+def test_triangles_always_match_networkx(g):
+    r = P.triangle_count(g)
+    und = nx.Graph(to_networkx(g))
+    assert r.total == sum(nx.triangles(und).values()) // 3
+
+
+@given(undirected_graphs(), st.integers(0, 13))
+@settings(max_examples=30, deadline=None)
+def test_bc_sigma_counts_shortest_paths(g, src):
+    src = src % g.n
+    r = P.bc(g, src)
+    nxg = to_networkx(g)
+    # sigma[v] must equal the number of shortest src->v paths
+    for v in range(g.n):
+        if v == src:
+            continue
+        try:
+            paths = list(nx.all_shortest_paths(nxg, src, v))
+            assert r.sigma[v] == len(paths)
+        except nx.NetworkXNoPath:
+            assert r.sigma[v] == 0
+
+
+@given(undirected_graphs())
+@settings(max_examples=25, deadline=None)
+def test_pagerank_order_independent_of_machine(g):
+    from repro.simt import Machine
+
+    a = P.pagerank(g, tolerance=1e-9).rank
+    b = P.pagerank(g, tolerance=1e-9, machine=Machine()).rank
+    assert np.array_equal(a, b)
+
+
+@given(undirected_graphs(), st.integers(0, 13), st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_multi_gpu_bfs_always_matches(g, src, k):
+    from repro.multi import multi_gpu_bfs
+
+    src = src % g.n
+    ref = P.bfs(g, src).labels
+    r = multi_gpu_bfs(g, src, k=k)
+    assert np.array_equal(r.labels, ref)

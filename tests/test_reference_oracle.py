@@ -1,0 +1,94 @@
+"""Cross-validation against the dependency-free textbook oracle
+(:mod:`repro.reference`) — a second, independent correctness anchor
+alongside the NetworkX comparisons."""
+
+import numpy as np
+import pytest
+
+from repro import reference
+from repro.graph import generators, with_random_weights
+from repro import primitives as P
+
+
+@pytest.fixture(scope="module")
+def g():
+    return generators.kronecker(8, seed=13)
+
+
+@pytest.fixture(scope="module")
+def gw(g):
+    return with_random_weights(g, seed=17)
+
+
+@pytest.fixture(scope="module")
+def road():
+    return generators.road_grid(14, 10, seed=2)
+
+
+def test_bfs_vs_oracle(g, road):
+    for graph in (g, road):
+        src = int(graph.out_degrees.argmax())
+        ours = P.bfs(graph, src).labels
+        ref = reference.bfs_depths(graph, src)
+        assert ours.tolist() == ref
+
+
+def test_sssp_vs_oracle(gw):
+    src = int(gw.out_degrees.argmax())
+    ours = P.sssp(gw, src).labels
+    ref = reference.dijkstra(gw, src)
+    assert np.allclose(ours, ref, equal_nan=True)
+
+
+def test_bc_vs_oracle(g):
+    src = int(g.out_degrees.argmax())
+    r = P.bc(g, src)
+    sigma, delta = reference.brandes_single_source(g, src)
+    assert np.allclose(r.sigma, sigma)
+    assert np.allclose(r.bc_values, delta)
+
+
+def test_pagerank_vs_oracle(g):
+    ours = P.pagerank(g, tolerance=1e-12).rank
+    ref = reference.pagerank_power(g, iterations=400)
+    assert np.allclose(ours, ref, atol=1e-8)
+
+
+def test_cc_vs_oracle(g, road):
+    for graph in (g, road):
+        ours = P.cc(graph).component_ids
+        ref = reference.connected_components(graph)
+        assert ours.tolist() == ref  # both label by component minimum
+
+
+def test_triangles_vs_oracle(g):
+    assert P.triangle_count(g).total == reference.triangle_count(g)
+
+
+def test_kcore_vs_oracle(g):
+    ours = P.kcore(g).core_numbers
+    assert ours.tolist() == reference.core_numbers(g)
+
+
+def test_mst_vs_oracle(gw, road):
+    road_w = with_random_weights(road, seed=5)
+    for graph in (gw, road_w):
+        ours = P.mst(graph).total_weight(graph)
+        assert ours == pytest.approx(reference.minimum_spanning_weight(graph))
+
+
+def test_oracle_agrees_with_networkx(g):
+    """The oracle itself must agree with NetworkX — closing the triangle
+    of independent implementations."""
+    import networkx as nx
+    from repro.graph.build import to_networkx
+
+    src = int(g.out_degrees.argmax())
+    nx_depths = nx.single_source_shortest_path_length(to_networkx(g), src)
+    ref = reference.bfs_depths(g, src)
+    for v in range(g.n):
+        assert ref[v] == nx_depths.get(v, -1)
+
+    und = nx.Graph(to_networkx(g))
+    assert reference.triangle_count(g) == \
+        sum(nx.triangles(und).values()) // 3
