@@ -1,0 +1,26 @@
+"""Functor sanitizer: static BSP-contract linter + dynamic race detector.
+
+Two cooperating halves police the contract Gunrock documents but never
+checks (Sections 4.1.1 and 4.3): functors fused into advance/filter
+kernels must read only pre-kernel state, route concurrent writes through
+:mod:`repro.core.atomics`, and declare ``idempotent = True`` only when
+duplicate applies are harmless.
+
+* :func:`lint_paths` / ``python -m repro lint`` — AST pass over Functor
+  and Problem classes (rule IDs GR001-GR005, see :mod:`.rules`).
+* :func:`sanitize` / ``python -m repro run --sanitize`` — runtime kernel
+  instrumentation that snapshots problem arrays, tracks write-sets, and
+  reports write-write conflicts and read-after-write hazards.
+"""
+
+from .linter import lint_file, lint_paths, lint_source
+from .rules import RULES, RULES_BY_ID, Rule, Violation
+from .sanitizer import (RaceError, RaceReport, Sanitizer, TrackedArray,
+                        current_sanitizer, kernel_scope, sanitize)
+
+__all__ = [
+    "lint_file", "lint_paths", "lint_source",
+    "RULES", "RULES_BY_ID", "Rule", "Violation",
+    "RaceError", "RaceReport", "Sanitizer", "TrackedArray",
+    "current_sanitizer", "kernel_scope", "sanitize",
+]

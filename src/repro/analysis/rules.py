@@ -1,0 +1,73 @@
+"""Lint-rule registry for the BSP functor contract.
+
+Gunrock's correctness rests on a contract the compiler never sees: user
+``cond``/``apply`` functors fused into advance/filter kernels must read
+only *pre-kernel* state, route every concurrent write through
+:mod:`repro.core.atomics`, declare ``idempotent = True`` only when
+duplicate applies are harmless, and keep per-run state on the problem
+(Sections 4.1.1 and 4.3 of the paper).  Each rule below names one way a
+functor can silently break that contract.
+
+Suppression: append ``# lint: allow(<rule-name>): justification`` to the
+violating line (or the line directly above it).  Suppressions without a
+matching violation are harmless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable clause of the BSP functor contract."""
+
+    id: str
+    name: str
+    summary: str
+
+
+RULES: Dict[str, Rule] = {
+    rule.name: rule for rule in [
+        Rule("GR000", "parse-error",
+             "file could not be parsed as Python; nothing in it was "
+             "checked (not suppressible)"),
+        Rule("GR001", "raw-write",
+             "raw fancy-index write to a problem array inside a functor "
+             "method bypasses repro.core.atomics; concurrent lanes would "
+             "race on a real GPU"),
+        Rule("GR002", "idempotent-accumulate",
+             "functor declares idempotent = True but its apply accumulates "
+             "(+= / atomic_add / np.add.at); duplicate applies would "
+             "double-count, so the declaration is unsound"),
+        Rule("GR003", "functor-state",
+             "functor method mutates state on the functor instance; per-run "
+             "state belongs on the problem (Problem/Functor split, "
+             "Section 4.3)"),
+        Rule("GR004", "scalar-loop",
+             "Python-level loop over lanes inside a functor method; every "
+             "operator body is expected to be vectorized (one numpy call "
+             "per CUDA kernel statement)"),
+        Rule("GR005", "unregistered-array",
+             "problem class allocates a per-element numpy array directly on "
+             "self instead of through add_vertex_array/add_edge_array, "
+             "hiding it from the memory-footprint audit and the sanitizer"),
+    ]
+}
+
+RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES.values()}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, formatted as ``file:line: GRnnn[name] message``."""
+
+    file: str
+    line: int
+    rule: Rule
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.file}:{self.line}: {self.rule.id}"
+                f"[{self.rule.name}] {self.message}")

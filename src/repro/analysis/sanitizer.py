@@ -1,0 +1,351 @@
+"""Dynamic race detector — the runtime half of the functor sanitizer.
+
+The Python analogue of ``compute-sanitizer --tool racecheck``: under
+``sanitize`` mode every fused kernel (one advance/filter/compute
+invocation of the user functor) runs inside a :class:`_KernelScope` that
+
+1. snapshots every registered problem array at kernel entry,
+2. swaps the problem's array attributes for :class:`TrackedArray` views
+   that record raw fancy-index writes (and check reads against them),
+3. lets :mod:`repro.core.atomics` record the lanes it touched, and
+4. diffs the arrays at kernel exit.
+
+Violations of the BSP contract become :class:`RaceReport` entries:
+
+* ``ww-conflict`` — one vectorized store wrote *different* values to the
+  same cell from multiple lanes (nondeterministic on a real GPU),
+* ``ww-duplicate-lanes`` — a non-idempotent functor raw-wrote the same
+  cell from multiple lanes, even with equal values: the contract requires
+  atomics (or an ``idempotent = True`` declaration) for that,
+* ``raw-hazard`` — a read observed cells raw-written earlier in the same
+  kernel, violating the everyone-sees-pre-kernel-state semantics,
+* ``unrouted-write`` — the post-kernel diff found changed cells that
+  neither the write tracking nor the atomics layer saw (state mutated
+  through a stashed reference or an in-place ufunc).
+
+Arrays with *benign* nondeterminism by design (BFS parent pointers: any
+same-level parent is a valid answer, exactly as on real hardware) are
+declared in ``Problem.relaxed_arrays`` and exempted from the value
+checks; unrouted writes are never exempt.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+_ACTIVE: Optional["Sanitizer"] = None
+
+
+def current_sanitizer() -> Optional["Sanitizer"]:
+    """The sanitizer installed by the innermost :func:`sanitize` block."""
+    return _ACTIVE
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One detected contract violation inside a fused kernel."""
+
+    kind: str
+    kernel: str
+    functor: str
+    array: str
+    cells: Tuple[int, ...]
+    detail: str
+
+    def format(self) -> str:
+        cells = ", ".join(str(c) for c in self.cells[:8])
+        more = "..." if len(self.cells) > 8 else ""
+        return (f"[{self.kind}] {self.kernel} ({self.functor}) on "
+                f"'{self.array}' cells [{cells}{more}]: {self.detail}")
+
+
+class RaceError(RuntimeError):
+    """Raised at kernel exit in strict mode when violations were found."""
+
+    def __init__(self, reports: List[RaceReport]):
+        self.reports = reports
+        lines = "\n  ".join(r.format() for r in reports)
+        super().__init__(f"functor sanitizer found {len(reports)} "
+                         f"violation(s):\n  {lines}")
+
+
+def _key_cells(key, n: int) -> np.ndarray:
+    """Normalize a 1-D subscript into an int64 cell vector."""
+    if isinstance(key, slice):
+        return np.arange(*key.indices(n), dtype=np.int64)
+    k = np.asarray(key)
+    if k.dtype == bool:
+        return np.flatnonzero(k).astype(np.int64)
+    if k.ndim == 0:
+        i = int(k)
+        return np.array([i + n if i < 0 else i], dtype=np.int64)
+    k = k.astype(np.int64).ravel()
+    return np.where(k < 0, k + n, k)
+
+
+class _ArrayTrace:
+    """Per-array, per-kernel write/read bookkeeping."""
+
+    __slots__ = ("name", "base", "snapshot", "relaxed", "scope",
+                 "raw_mask", "tracked_mask", "active")
+
+    def __init__(self, name: str, base: np.ndarray, snapshot: np.ndarray,
+                 relaxed: bool, scope: "_KernelScope"):
+        self.name = name
+        self.base = base
+        self.snapshot = snapshot
+        self.relaxed = relaxed
+        self.scope = scope
+        self.raw_mask: Optional[np.ndarray] = None      # raw-written cells
+        self.tracked_mask: Optional[np.ndarray] = None  # raw or atomic
+        self.active = True
+
+    def _mark(self, attr: str, cells: np.ndarray) -> None:
+        mask = getattr(self, attr)
+        if mask is None:
+            mask = np.zeros(len(self.base), dtype=bool)
+            setattr(self, attr, mask)
+        mask[cells] = True
+
+    def on_write(self, key, value) -> None:
+        try:
+            cells = _key_cells(key, len(self.base))
+        except (TypeError, ValueError):
+            cells = np.arange(len(self.base), dtype=np.int64)
+        if len(cells) > 1:
+            self._check_duplicates(cells, value)
+        self._mark("raw_mask", cells)
+        self._mark("tracked_mask", cells)
+
+    def _check_duplicates(self, cells: np.ndarray, value) -> None:
+        order = np.argsort(cells, kind="stable")
+        sorted_cells = cells[order]
+        dup = sorted_cells[1:] == sorted_cells[:-1]
+        if not dup.any():
+            return
+        vals = np.asarray(value)
+        differing = False
+        if vals.ndim != 0:
+            try:
+                v = np.broadcast_to(vals.ravel(), cells.shape)[order]
+                neq = v[1:] != v[:-1]
+                differing = bool((dup & neq).any())
+            except ValueError:
+                differing = True  # un-broadcastable: assume the worst
+        dup_cells = np.unique(sorted_cells[1:][dup])
+        if differing and not self.relaxed:
+            self.scope.report(
+                "ww-conflict", self.name, dup_cells,
+                "multiple lanes stored different values to the same cell "
+                "in one vectorized write; the surviving value depends on "
+                "lane order")
+        elif not differing and not self.scope.idempotent and not self.relaxed:
+            self.scope.report(
+                "ww-duplicate-lanes", self.name, dup_cells,
+                "non-idempotent functor raw-wrote the same cell from "
+                "multiple lanes; route the write through repro.core.atomics "
+                "or declare idempotent = True")
+
+    def on_read(self, key) -> None:
+        if self.raw_mask is None or self.relaxed:
+            return
+        try:
+            cells = _key_cells(key, len(self.base))
+        except (TypeError, ValueError):
+            cells = np.arange(len(self.base), dtype=np.int64)
+        hazard = cells[self.raw_mask[cells]]
+        if len(hazard):
+            self.scope.report(
+                "raw-hazard", self.name, np.unique(hazard),
+                "read observed cells raw-written earlier in the same "
+                "kernel; functors must read only pre-kernel state")
+
+    def on_atomic(self, cells: np.ndarray) -> None:
+        if len(cells):
+            self._mark("tracked_mask", cells)
+
+    def finish(self) -> None:
+        """Post-kernel diff: changed cells nobody accounted for."""
+        self.active = False
+        base, snap = self.base, self.snapshot
+        changed = base != snap
+        if base.dtype.kind == "f":
+            changed &= ~(np.isnan(base) & np.isnan(snap))
+        if self.tracked_mask is not None:
+            changed &= ~self.tracked_mask
+        cells = np.flatnonzero(changed)
+        if len(cells):
+            self.scope.report(
+                "unrouted-write", self.name, cells,
+                "cells changed during the kernel without passing through "
+                "tracked writes or repro.core.atomics (mutated via a "
+                "stashed reference or in-place ufunc?)")
+
+
+class TrackedArray(np.ndarray):
+    """ndarray view that reports subscript reads/writes to its trace.
+
+    Views and results derived from a tracked array are inert (their
+    ``_trace`` is ``None``): only the exact attribute installed on the
+    problem records — a copy taken inside the functor is private state.
+    """
+
+    def __array_finalize__(self, obj):
+        self._trace = None
+
+    def __getitem__(self, key):
+        trace = self._trace
+        if trace is not None and trace.active and trace.raw_mask is not None:
+            trace.on_read(key)
+        return np.ndarray.__getitem__(self, key)
+
+    def __setitem__(self, key, value):
+        trace = self._trace
+        if trace is not None and trace.active:
+            trace.on_write(key, value)
+        np.ndarray.__setitem__(self, key, value)
+
+
+class _KernelScope:
+    """Context installing tracked views on the problem for one kernel."""
+
+    def __init__(self, sanitizer: "Sanitizer", kernel: str, problem,
+                 functor):
+        self.sanitizer = sanitizer
+        self.kernel = kernel
+        self.problem = problem
+        self.functor_name = type(functor).__name__
+        self.idempotent = bool(getattr(functor, "idempotent", False))
+        self.relaxed = frozenset(getattr(problem, "relaxed_arrays", ()))
+        self.traces: Dict[str, _ArrayTrace] = {}
+        self._previous: Dict[str, np.ndarray] = {}
+        self._reported: set = set()
+
+    def report(self, kind: str, array: str, cells: np.ndarray,
+               detail: str) -> None:
+        dedupe = (kind, array)
+        if dedupe in self._reported:
+            return
+        self._reported.add(dedupe)
+        self.sanitizer._add(RaceReport(
+            kind=kind, kernel=self.kernel, functor=self.functor_name,
+            array=array, cells=tuple(int(c) for c in cells[:32]),
+            detail=detail))
+
+    def __enter__(self) -> "_KernelScope":
+        registered = {}
+        registered.update(getattr(self.problem, "_vertex_arrays", {}))
+        registered.update(getattr(self.problem, "_edge_arrays", {}))
+        for name, arr in registered.items():
+            base = arr.view(np.ndarray) if isinstance(arr, TrackedArray) \
+                else arr
+            trace = _ArrayTrace(name, base, base.copy(),
+                                relaxed=name in self.relaxed, scope=self)
+            tracked = base.view(TrackedArray)
+            tracked._trace = trace
+            self.traces[name] = trace
+            self._previous[name] = getattr(self.problem, name)
+            setattr(self.problem, name, tracked)
+        self.sanitizer._scopes.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb) -> None:
+        self.sanitizer._scopes.pop()
+        for name, prev in self._previous.items():
+            setattr(self.problem, name, prev)
+        if exc_type is not None:
+            return  # don't pile diff reports on top of a real exception
+        for trace in self.traces.values():
+            trace.finish()
+        if self.sanitizer.strict and self._reported:
+            raise RaceError(self.sanitizer.reports[:])
+
+
+class Sanitizer:
+    """Collects :class:`RaceReport` entries across kernels of a run."""
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self.reports: List[RaceReport] = []
+        self._scopes: List[_KernelScope] = []
+
+    def _add(self, report: RaceReport) -> None:
+        self.reports.append(report)
+
+    # -- hooks for the operators and atomics ------------------------------
+
+    def kernel(self, name: str, problem, functor) -> _KernelScope:
+        """Scope one fused kernel (advance/filter/compute invocation)."""
+        return _KernelScope(self, name, problem, functor)
+
+    def on_atomic(self, array: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Record an atomic's lane set; hand back the raw base array so
+        the atomic's own reads/writes bypass raw-write tracking."""
+        if isinstance(array, TrackedArray):
+            trace = array._trace
+            if trace is not None and trace.active:
+                trace.on_atomic(np.unique(idx) if len(idx) else idx)
+                return trace.base
+            return array.view(np.ndarray)
+        return array
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return not self.reports
+
+    def check(self) -> None:
+        """Raise :class:`RaceError` if any violation was recorded."""
+        if self.reports:
+            raise RaceError(self.reports[:])
+
+    def summary(self) -> str:
+        if not self.reports:
+            return "sanitizer: no BSP-contract violations detected"
+        lines = [f"sanitizer: {len(self.reports)} violation(s)"]
+        lines += ["  " + r.format() for r in self.reports]
+        return "\n".join(lines)
+
+
+@contextmanager
+def sanitize(strict: bool = True) -> Iterator[Sanitizer]:
+    """Enable the dynamic race detector for the enclosed code.
+
+    Every advance/filter/compute executed inside the block runs its
+    functor under a kernel scope.  ``strict=True`` raises
+    :class:`RaceError` at the first offending kernel; ``strict=False``
+    collects reports for later inspection (``sanitizer.reports``).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    sanitizer = Sanitizer(strict=strict)
+    _ACTIVE = sanitizer
+    try:
+        yield sanitizer
+    finally:
+        _ACTIVE = previous
+
+
+def kernel_scope(name: str, problem, functor):
+    """The operator-side hook: a live kernel scope when sanitizing, else
+    an inert context manager (the common fast path)."""
+    sanitizer = current_sanitizer()
+    if sanitizer is None:
+        return _NULL_SCOPE
+    return sanitizer.kernel(name, problem, functor)
+
+
+class _NullScope:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_SCOPE = _NullScope()

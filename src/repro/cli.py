@@ -7,6 +7,10 @@ Mirrors the original Gunrock's test drivers (``bfs market graph.mtx``):
 * ``run``       — run one primitive on a graph, print outputs + counters
 * ``compare``   — run one primitive across all frameworks (a Table 2 row)
 * ``datasets``  — list the built-in dataset twins
+* ``lint``      — static BSP-contract linter over functor/problem sources
+
+``run`` and ``compare`` accept ``--sanitize`` to execute every fused
+kernel under the dynamic race detector (see ``repro.analysis``).
 
 Graphs come from ``--dataset NAME`` (a built-in twin), ``--generate SPEC``
 (e.g. ``kron:12``, ``road:100x80``, ``hub:20000``, ``powerlaw:10000``), or
@@ -118,6 +122,26 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import os
+
+    from .analysis import lint_paths
+
+    paths = args.paths
+    if not paths:
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    try:
+        violations = lint_paths(paths)
+    except FileNotFoundError as err:
+        raise SystemExit(str(err))
+    for v in violations:
+        print(v.format())
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_datasets(args) -> int:
     for name in datasets.TABLE_ORDER:
         spec = datasets.REGISTRY[name]
@@ -174,11 +198,24 @@ def _run_primitive(name: str, g: Csr, src: int, machine: Machine):
 
 
 def cmd_run(args) -> int:
+    from .analysis import RaceError, sanitize
+    from contextlib import nullcontext
+
     g = load_graph(args)
     src = args.src if args.src is not None else int(g.out_degrees.argmax())
     machine = Machine()
-    result, summary = _run_primitive(args.primitive, g, src, machine)
+    ctx = sanitize(strict=True) if args.sanitize else nullcontext()
+    try:
+        with ctx:
+            result, summary = _run_primitive(args.primitive, g, src, machine)
+    except RaceError as err:
+        for report in err.reports:
+            print(report.format(), file=sys.stderr)
+        print(f"sanitize: {len(err.reports)} race report(s)", file=sys.stderr)
+        return 1
     print(f"{args.primitive} on {g}: {summary}")
+    if args.sanitize:
+        print("sanitize: no races detected")
     c = machine.counters
     print(f"simulated {machine.elapsed_ms():.3f} ms | "
           f"{c.kernel_launches} kernels | {c.edges_visited:,} edges | "
@@ -188,8 +225,15 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    from contextlib import nullcontext
+
+    from .analysis import RaceError, sanitize
     from .frameworks import ALL_FRAMEWORKS, Unsupported
 
+    if getattr(args, "sanitize", False):
+        make_ctx = lambda: sanitize(strict=True)  # noqa: E731
+    else:
+        make_ctx = nullcontext
     g = load_graph(args)
     if args.primitive == "sssp" and g.edge_values is None:
         g = with_random_weights(g, seed=args.seed)
@@ -199,10 +243,17 @@ def cmd_compare(args) -> int:
     for cls in ALL_FRAMEWORKS:
         fw = cls()
         try:
-            r = fw.run(args.primitive, g, src=src)
+            with make_ctx():
+                r = fw.run(args.primitive, g, src=src)
             rows.append((fw.name, r.runtime_ms))
         except Unsupported:
             rows.append((fw.name, None))
+        except RaceError as err:
+            for report in err.reports:
+                print(report.format(), file=sys.stderr)
+            print(f"sanitize: {fw.name} raised "
+                  f"{len(err.reports)} race report(s)", file=sys.stderr)
+            return 1
     base = dict(rows).get("Gunrock")
     for name, ms in rows:
         if ms is None:
@@ -231,13 +282,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("primitive", choices=PRIMITIVES)
     _add_graph_options(p)
     p.add_argument("--src", type=int, default=None)
+    p.add_argument("--sanitize", action="store_true",
+                   help="run under the dynamic race detector")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("compare", help="run one primitive on every framework")
     p.add_argument("primitive", choices=("bfs", "sssp", "bc", "pagerank", "cc"))
     _add_graph_options(p)
     p.add_argument("--src", type=int, default=None)
+    p.add_argument("--sanitize", action="store_true",
+                   help="run every framework under the dynamic race detector")
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "lint", help="static BSP-contract lint over functor sources")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: the repro package)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("datasets", help="list built-in dataset twins")
     p.set_defaults(fn=cmd_datasets)

@@ -21,16 +21,32 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..analysis.sanitizer import current_sanitizer
 from ..simt import calib
 from ..simt.machine import Machine
+
+
+def _tracked(array: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Report this atomic's lane set to an active sanitizer.
+
+    Returns the raw base array so the atomic's internal reads and writes
+    bypass raw-write tracking — routed writes are the contract-compliant
+    path, recorded as a per-kernel atomic write-set instead.
+    """
+    sanitizer = current_sanitizer()
+    if sanitizer is not None:
+        return sanitizer.on_atomic(array, idx)
+    return array
 
 
 def _charge(machine: Optional[Machine], name: str, idx: np.ndarray) -> None:
     if machine is None or len(idx) == 0:
         return
-    counts = np.bincount(idx - idx.min()) if len(idx) else np.zeros(1)
+    # distinct-count via unique: bincount over the idx.min()-shifted range
+    # both miscounted sparse address vectors and allocated O(max-min) scratch
+    _, counts = np.unique(idx, return_counts=True)
     hottest = int(counts.max())
-    conflicts = len(idx) - np.count_nonzero(counts)
+    conflicts = len(idx) - len(counts)
     machine.counters.record_atomics(len(idx), conflicts)
     # aggregate throughput term + serial chain on the hottest address
     body = (len(idx) * calib.C_ATOMIC_THROUGHPUT
@@ -50,6 +66,7 @@ def atomic_min(array: np.ndarray, idx: np.ndarray, vals: np.ndarray,
     vals = np.asarray(vals)
     if len(idx) != len(vals):
         raise ValueError("atomic_min: index/value length mismatch")
+    array = _tracked(array, idx)
     old = array[idx]
     won = vals < old
     np.minimum.at(array, idx, vals)
@@ -64,6 +81,7 @@ def atomic_max(array: np.ndarray, idx: np.ndarray, vals: np.ndarray,
     vals = np.asarray(vals)
     if len(idx) != len(vals):
         raise ValueError("atomic_max: index/value length mismatch")
+    array = _tracked(array, idx)
     old = array[idx]
     won = vals > old
     np.maximum.at(array, idx, vals)
@@ -78,6 +96,7 @@ def atomic_add(array: np.ndarray, idx: np.ndarray, vals: np.ndarray,
     vals = np.asarray(vals)
     if len(idx) != len(vals):
         raise ValueError("atomic_add: index/value length mismatch")
+    array = _tracked(array, idx)
     np.add.at(array, idx, vals)
     _charge(machine, "atomic_add", idx)
 
@@ -93,6 +112,7 @@ def atomic_cas_claim(flags: np.ndarray, idx: np.ndarray,
     only once in the output frontier" (Section 4.1.1).
     """
     idx = np.asarray(idx, dtype=np.int64)
+    flags = _tracked(flags, idx)
     won = np.zeros(len(idx), dtype=bool)
     if len(idx):
         unclaimed = ~flags[idx]
@@ -114,6 +134,7 @@ def atomic_exch_gather(array: np.ndarray, idx: np.ndarray, vals: np.ndarray,
     deterministically (lane order = array order); returns old values."""
     idx = np.asarray(idx, dtype=np.int64)
     vals = np.asarray(vals)
+    array = _tracked(array, idx)
     old = array[idx].copy()
     array[idx] = vals  # numpy fancy assignment: last write wins
     _charge(machine, "atomic_exch", idx)

@@ -13,9 +13,11 @@ charts).  Subclasses implement :meth:`_iterate`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..analysis.sanitizer import Sanitizer, current_sanitizer, sanitize
 from .frontier import Frontier
 from .functor import Functor
 from .loadbalance import LoadBalancer, default_load_balancer
@@ -55,12 +57,18 @@ class EnactorBase:
 
     def __init__(self, problem: ProblemBase, *,
                  lb: Optional[LoadBalancer] = None,
-                 max_iterations: Optional[int] = None):
+                 max_iterations: Optional[int] = None,
+                 sanitize: bool = False):
         self.problem = problem
         self.lb = lb if lb is not None else default_load_balancer()
         self.max_iterations = max_iterations
         self.stats = EnactorStats()
         self.iteration = 0
+        #: run every kernel under the dynamic race detector
+        #: (:mod:`repro.analysis.sanitizer`); also honored implicitly when
+        #: the caller wraps the run in an outer ``sanitize()`` block
+        self.sanitize = sanitize
+        self.sanitizer: Optional[Sanitizer] = None
 
     # -- traced operator wrappers -------------------------------------------
 
@@ -101,14 +109,26 @@ class EnactorBase:
         return frontier.is_empty
 
     def enact(self, frontier: Frontier) -> Frontier:
-        """Run to convergence; returns the final frontier."""
-        self.iteration = 0
-        while not self._converged(frontier):
-            if self.max_iterations is not None and self.iteration >= self.max_iterations:
-                break
-            frontier = self._iterate(frontier)
-            self.iteration += 1
-            if self.problem.machine is not None:
-                self.problem.machine.counters.iterations = self.iteration
-        self.stats.iterations = self.iteration
+        """Run to convergence; returns the final frontier.
+
+        With ``sanitize=True`` (and no sanitizer already active) the whole
+        run executes under a strict :func:`repro.analysis.sanitize` block,
+        so a BSP-contract violation in any functor raises
+        :class:`~repro.analysis.sanitizer.RaceError` at the offending
+        kernel.
+        """
+        ctx = sanitize(strict=True) \
+            if self.sanitize and current_sanitizer() is None else nullcontext()
+        with ctx:
+            self.sanitizer = current_sanitizer()
+            self.iteration = 0
+            while not self._converged(frontier):
+                if self.max_iterations is not None and \
+                        self.iteration >= self.max_iterations:
+                    break
+                frontier = self._iterate(frontier)
+                self.iteration += 1
+                if self.problem.machine is not None:
+                    self.problem.machine.counters.iterations = self.iteration
+            self.stats.iterations = self.iteration
         return frontier

@@ -67,13 +67,27 @@ class AllPassFunctor(Functor):
     """Pure traversal: no computation, everything admitted."""
 
 
-def resolve_masks(n_lanes: int, *masks: Optional[np.ndarray]) -> np.ndarray:
-    """AND together optional lane masks (None == all-True)."""
+def resolve_masks(n_lanes: int, *masks: Optional[np.ndarray],
+                  where: str = "functor") -> np.ndarray:
+    """AND together optional lane masks (None == all-True).
+
+    ``where`` names the functor method that produced the mask, so the
+    errors point at the offending user code.  Non-boolean masks are
+    rejected: an int mask would silently reinterpret arbitrary values as
+    lane admission bits.
+    """
     out = np.ones(n_lanes, dtype=bool)
     for mask in masks:
         if mask is not None:
+            mask = np.asarray(mask)
+            if mask.dtype != np.bool_:
+                raise TypeError(
+                    f"{where} returned a {mask.dtype} mask; cond/apply "
+                    "lane masks must be boolean (use a comparison, not "
+                    "raw values)")
             if len(mask) != n_lanes:
                 raise ValueError(
-                    f"functor returned mask of length {len(mask)}, expected {n_lanes}")
+                    f"{where} returned mask of length {len(mask)}, "
+                    f"expected {n_lanes}")
             out &= mask
     return out

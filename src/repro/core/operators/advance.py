@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ...analysis.sanitizer import kernel_scope
 from ...simt import calib
 from ..frontier import Frontier, FrontierKind
 from ..functor import Functor, resolve_masks
@@ -128,14 +129,16 @@ def _push_body(problem, f_vertices, functor, output_kind, lb, iteration):
     _charge_advance(problem, degs, lb, "advance_push", len(eids), iteration)
     if len(eids) == 0:
         return Frontier.empty(output_kind)
-    cond = functor.cond_edge(problem, srcs, dsts, eids)
-    keep = resolve_masks(len(eids), cond)
-    if not keep.all():
-        srcs, dsts, eids = srcs[keep], dsts[keep], eids[keep]
-    if len(eids) == 0:
-        return Frontier.empty(output_kind)
-    applied = functor.apply_edge(problem, srcs, dsts, eids)
-    keep = resolve_masks(len(eids), applied)
+    fname = type(functor).__name__
+    with kernel_scope("advance_push", problem, functor):
+        cond = functor.cond_edge(problem, srcs, dsts, eids)
+        keep = resolve_masks(len(eids), cond, where=f"{fname}.cond_edge")
+        if not keep.all():
+            srcs, dsts, eids = srcs[keep], dsts[keep], eids[keep]
+        if len(eids) == 0:
+            return Frontier.empty(output_kind)
+        applied = functor.apply_edge(problem, srcs, dsts, eids)
+        keep = resolve_masks(len(eids), applied, where=f"{fname}.apply_edge")
     out_items = (dsts if output_kind is FrontierKind.VERTEX else eids)[keep]
     return Frontier(out_items, output_kind)
 
@@ -202,11 +205,13 @@ def _advance_pull(problem: ProblemBase, frontier: Frontier, functor: Functor,
     parent = rev.indices[win_edge].astype(np.int64)
     orig_eid = rev.edge_props["orig_edge"][win_edge]
 
-    cond = functor.cond_edge(problem, parent, child, orig_eid)
-    keep = resolve_masks(len(child), cond)
-    parent, child, orig_eid = parent[keep], child[keep], orig_eid[keep]
-    if len(child) == 0:
-        return Frontier.empty(FrontierKind.VERTEX)
-    applied = functor.apply_edge(problem, parent, child, orig_eid)
-    keep = resolve_masks(len(child), applied)
+    fname = type(functor).__name__
+    with kernel_scope("advance_pull", problem, functor):
+        cond = functor.cond_edge(problem, parent, child, orig_eid)
+        keep = resolve_masks(len(child), cond, where=f"{fname}.cond_edge")
+        parent, child, orig_eid = parent[keep], child[keep], orig_eid[keep]
+        if len(child) == 0:
+            return Frontier.empty(FrontierKind.VERTEX)
+        applied = functor.apply_edge(problem, parent, child, orig_eid)
+        keep = resolve_masks(len(child), applied, where=f"{fname}.apply_edge")
     return Frontier(child[keep], FrontierKind.VERTEX)

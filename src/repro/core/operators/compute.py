@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...analysis.sanitizer import kernel_scope
 from ...simt import calib
 from ..frontier import Frontier, FrontierKind
 from ..functor import Functor, resolve_masks
@@ -27,14 +28,15 @@ def compute(problem: ProblemBase, frontier: Frontier, functor: Functor,
     machine = problem.machine
     items = frontier.items
     if len(items):
-        if frontier.kind is FrontierKind.VERTEX:
-            functor.apply_vertex(problem, items)
-        else:
-            g = problem.graph
-            functor.apply_edge(problem,
-                               g.edge_sources[items].astype(np.int64),
-                               g.indices[items].astype(np.int64),
-                               items)
+        with kernel_scope("compute", problem, functor):
+            if frontier.kind is FrontierKind.VERTEX:
+                functor.apply_vertex(problem, items)
+            else:
+                g = problem.graph
+                functor.apply_edge(problem,
+                                   g.edge_sources[items].astype(np.int64),
+                                   g.indices[items].astype(np.int64),
+                                   items)
     if machine is not None:
         machine.map_kernel("compute", len(items), calib.C_VERTEX,
                            iteration=iteration)
@@ -53,15 +55,20 @@ def compute_masked(problem: ProblemBase, frontier: Frontier, functor: Functor,
     items = frontier.items
     if len(items) == 0:
         return frontier
-    if frontier.kind is FrontierKind.VERTEX:
-        mask = functor.apply_vertex(problem, items)
-    else:
-        g = problem.graph
-        mask = functor.apply_edge(problem,
-                                  g.edge_sources[items].astype(np.int64),
-                                  g.indices[items].astype(np.int64),
-                                  items)
-    keep = resolve_masks(len(items), mask)
+    fname = type(functor).__name__
+    with kernel_scope("compute", problem, functor):
+        if frontier.kind is FrontierKind.VERTEX:
+            mask = functor.apply_vertex(problem, items)
+            keep = resolve_masks(len(items), mask,
+                                 where=f"{fname}.apply_vertex")
+        else:
+            g = problem.graph
+            mask = functor.apply_edge(problem,
+                                      g.edge_sources[items].astype(np.int64),
+                                      g.indices[items].astype(np.int64),
+                                      items)
+            keep = resolve_masks(len(items), mask,
+                                 where=f"{fname}.apply_edge")
     if machine is not None:
         machine.map_kernel("compute", len(items), calib.C_VERTEX,
                            iteration=iteration)

@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from ...analysis.sanitizer import kernel_scope
 from ...simt import calib
 from ...simt.machine import Machine
 from ..frontier import Frontier
@@ -159,28 +160,34 @@ def _filter_body(problem, frontier, functor, heuristics, machine: Optional[Machi
             # three shared-memory/texture/bitmask probes per element
             machine.map_kernel("filter_heuristics", n, 3.0)
 
-    if frontier.kind is FrontierKind.VERTEX:
-        cond = functor.cond_vertex(problem, items)
-    else:
-        g = problem.graph
-        cond = functor.cond_edge(problem,
-                                 g.edge_sources[items].astype(np.int64),
-                                 g.indices[items].astype(np.int64),
-                                 items)
-    keep &= resolve_masks(n, cond)
-
-    survivors = items[keep]
-    if len(survivors):
+    fname = type(functor).__name__
+    with kernel_scope("filter", problem, functor):
         if frontier.kind is FrontierKind.VERTEX:
-            applied = functor.apply_vertex(problem, survivors)
+            cond = functor.cond_vertex(problem, items)
+            keep &= resolve_masks(n, cond, where=f"{fname}.cond_vertex")
         else:
             g = problem.graph
-            applied = functor.apply_edge(problem,
-                                         g.edge_sources[survivors].astype(np.int64),
-                                         g.indices[survivors].astype(np.int64),
-                                         survivors)
-        mask2 = resolve_masks(len(survivors), applied)
-        survivors = survivors[mask2]
+            cond = functor.cond_edge(problem,
+                                     g.edge_sources[items].astype(np.int64),
+                                     g.indices[items].astype(np.int64),
+                                     items)
+            keep &= resolve_masks(n, cond, where=f"{fname}.cond_edge")
+
+        survivors = items[keep]
+        if len(survivors):
+            if frontier.kind is FrontierKind.VERTEX:
+                applied = functor.apply_vertex(problem, survivors)
+                mask2 = resolve_masks(len(survivors), applied,
+                                      where=f"{fname}.apply_vertex")
+            else:
+                g = problem.graph
+                applied = functor.apply_edge(problem,
+                                             g.edge_sources[survivors].astype(np.int64),
+                                             g.indices[survivors].astype(np.int64),
+                                             survivors)
+                mask2 = resolve_masks(len(survivors), applied,
+                                      where=f"{fname}.apply_edge")
+            survivors = survivors[mask2]
     if machine is not None:
         # the scan+scatter compaction pass over the input frontier
         machine.counters.compact_elements += n

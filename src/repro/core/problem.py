@@ -25,6 +25,13 @@ from ..simt.machine import Machine
 class ProblemBase:
     """Graph + machine + named SoA state arrays."""
 
+    #: registered array names with *benign* nondeterminism by design —
+    #: e.g. BFS parent pointers, where any same-level parent is a valid
+    #: answer exactly as on real hardware.  The dynamic sanitizer
+    #: (:mod:`repro.analysis.sanitizer`) exempts these from its
+    #: write-write value checks; unrouted writes are never exempt.
+    relaxed_arrays: frozenset = frozenset()
+
     def __init__(self, graph: Csr, machine: Optional[Machine] = None):
         self.graph = graph
         self.machine = machine

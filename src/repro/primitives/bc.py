@@ -65,7 +65,11 @@ class _ForwardFunctor(Functor):
 
     def apply_edge(self, P, src, dst, eid):
         atomics.atomic_add(P.sigma, dst, P.sigma[src], P.machine)
-        P.labels[dst] = self.depth
+        # claim the depth through an atomic, as real Gunrock's BC does with
+        # atomicCAS: duplicate lanes race on labels[dst] otherwise
+        atomics.atomic_max(P.labels, dst,
+                           np.full(len(dst), self.depth, dtype=np.int64),
+                           P.machine)
         return None
 
 

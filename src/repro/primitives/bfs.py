@@ -41,6 +41,10 @@ DirectionPolicy = Union[DirectionOptimizer, FixedDirection]
 class BfsProblem(ProblemBase):
     """Per-vertex depth labels and predecessors (+ claim flags)."""
 
+    #: any same-level parent is a valid predecessor — the sanitizer must
+    #: not flag the lane-order-dependent choice (real GPUs behave the same)
+    relaxed_arrays = frozenset({"preds"})
+
     def __init__(self, graph: Csr, machine: Optional[Machine] = None,
                  record_preds: bool = True):
         super().__init__(graph, machine)
@@ -76,9 +80,11 @@ class _IdempotentBfsFunctor(Functor):
         return P.labels[dst] < 0
 
     def apply_edge(self, P, src, dst, eid):
-        P.labels[dst] = self.depth
+        # duplicate lanes all store the same depth, harmless by idempotence
+        P.labels[dst] = self.depth  # lint: allow(raw-write)
         if P.record_preds:
-            P.preds[dst] = src
+            # any same-level parent is valid (relaxed array)
+            P.preds[dst] = src  # lint: allow(raw-write)
         return None
 
 
@@ -96,9 +102,10 @@ class _AtomicBfsFunctor(Functor):
     def apply_edge(self, P, src, dst, eid):
         won = atomics.atomic_cas_claim(P.visited, dst, P.machine)
         w = dst[won]
-        P.labels[w] = self.depth
+        # CAS winners are unique cells: each is written by exactly one lane
+        P.labels[w] = self.depth  # lint: allow(raw-write)
         if P.record_preds:
-            P.preds[w] = src[won]
+            P.preds[w] = src[won]  # lint: allow(raw-write)
         return won
 
 

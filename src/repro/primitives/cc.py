@@ -81,7 +81,8 @@ class _JumpFunctor(Functor):
     def apply_vertex(self, P, v):
         parent = P.component_ids[v]
         grand = P.component_ids[parent]
-        P.component_ids[v] = grand
+        # filter lanes are unique vertex ids: one writer per cell
+        P.component_ids[v] = grand  # lint: allow(raw-write)
         return grand != parent  # keep vertices still climbing
 
 

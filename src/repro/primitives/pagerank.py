@@ -69,10 +69,11 @@ class _CommitFunctor(Functor):
     """filter: fold received residual into rank; keep unconverged."""
 
     def apply_vertex(self, P, v):
+        # filter lanes are unique vertex ids: no two lanes share a cell
         res = P.residual_next[v]
-        P.rank[v] += res
-        P.residual[v] = res
-        P.residual_next[v] = 0.0
+        P.rank[v] += res  # lint: allow(raw-write)
+        P.residual[v] = res  # lint: allow(raw-write)
+        P.residual_next[v] = 0.0  # lint: allow(raw-write)
         return res > P.tolerance
 
 

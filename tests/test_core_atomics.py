@@ -94,6 +94,35 @@ def test_atomics_charge_machine():
     assert m.counters.cycles > 0
 
 
+def test_atomics_charge_counts_all_colliding_lanes():
+    """Regression: conflicts = lanes beyond the first per cell, summed over
+    every contended cell — idx [7, 7, 9, 12] has exactly one extra lane."""
+    m = Machine()
+    arr = np.zeros(16)
+    atomics.atomic_add(arr, np.array([7, 7, 9, 12]), np.ones(4), m)
+    assert m.counters.atomics_issued == 4
+    assert m.counters.atomic_conflicts == 1
+
+
+def test_atomics_charge_multiple_hot_cells():
+    """Three lanes on cell 2 and two on cell 5: 3-1 + 2-1 = 3 conflicts."""
+    m = Machine()
+    arr = np.zeros(8)
+    atomics.atomic_add(arr, np.array([2, 5, 2, 2, 5, 0]), np.ones(6), m)
+    assert m.counters.atomics_issued == 6
+    assert m.counters.atomic_conflicts == 3
+
+
+def test_atomics_charge_sparse_addresses():
+    """Widely separated addresses must not inflate the conflict count
+    (the bincount-era implementation scanned the whole address range)."""
+    m = Machine()
+    arr = np.zeros(1_000_000)
+    atomics.atomic_add(arr, np.array([0, 999_999]), np.ones(2), m)
+    assert m.counters.atomics_issued == 2
+    assert m.counters.atomic_conflicts == 0
+
+
 def test_atomics_fold_into_fusion_scope():
     m = Machine()
     with m.fused("outer"):
