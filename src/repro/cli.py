@@ -8,9 +8,12 @@ Mirrors the original Gunrock's test drivers (``bfs market graph.mtx``):
 * ``compare``   — run one primitive across all frameworks (a Table 2 row)
 * ``datasets``  — list the built-in dataset twins
 * ``lint``      — static BSP-contract linter over functor/problem sources
+* ``chaos``     — inject faults into a primitive and verify recovery
 
 ``run`` and ``compare`` accept ``--sanitize`` to execute every fused
 kernel under the dynamic race detector (see ``repro.analysis``).
+Unreadable or malformed graph files exit with status 2
+(:class:`repro.graph.io.GraphIOError` names the file and line).
 
 Graphs come from ``--dataset NAME`` (a built-in twin), ``--generate SPEC``
 (e.g. ``kron:12``, ``road:100x80``, ``hub:20000``, ``powerlaw:10000``), or
@@ -140,6 +143,26 @@ def cmd_lint(args) -> int:
         print(f"{len(violations)} violation(s)", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_chaos(args) -> int:
+    from .resilience import RetryPolicy, parse_kinds
+    from .resilience.chaos import format_report, run_chaos
+
+    if not (args.dataset or args.generate or args.graph):
+        args.generate = "kron:10"  # a default topology for smoke runs
+    g = load_graph(args)
+    try:
+        kinds = parse_kinds(args.faults)
+    except ValueError as err:
+        raise SystemExit(str(err))
+    report = run_chaos(
+        g, args.primitive, kinds, seed=args.seed, k=args.devices,
+        src=args.src, checkpoint_every=args.checkpoint_every,
+        per_kind=args.per_kind,
+        retry=RetryPolicy(max_retries=args.max_retries))
+    print(format_report(report))
+    return 0 if report.ok else 1
 
 
 def cmd_datasets(args) -> int:
@@ -300,6 +323,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="files or directories (default: the repro package)")
     p.set_defaults(fn=cmd_lint)
 
+    p = sub.add_parser(
+        "chaos", help="inject faults into a primitive and verify recovery")
+    p.add_argument("--primitive", choices=("bfs", "sssp", "pagerank"),
+                   default="bfs")
+    _add_graph_options(p)
+    p.add_argument("--faults",
+                   default="transient-kernel,corruption,straggler,"
+                           "device-loss,exchange-timeout",
+                   help="comma list of fault kinds to inject")
+    p.add_argument("--src", type=int, default=None)
+    p.add_argument("--devices", "-k", type=int, default=2,
+                   help="simulated device count for multi-GPU faults")
+    p.add_argument("--checkpoint-every", type=int, default=2,
+                   help="enactor snapshot interval in super-steps")
+    p.add_argument("--per-kind", type=int, default=1,
+                   help="scheduled faults per kind")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="retry budget for transient faults")
+    p.set_defaults(fn=cmd_chaos)
+
     p = sub.add_parser("datasets", help="list built-in dataset twins")
     p.set_defaults(fn=cmd_datasets)
     return parser
@@ -307,7 +350,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except io.GraphIOError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -98,6 +98,18 @@ class NearFarPile:
         self._near = _concat(self._near, near)
         self._far = _concat(self._far, far)
 
+    def snapshot(self) -> dict:
+        """Copy the pile's mutable state for super-step checkpointing."""
+        return {"near": self._near.items.copy(),
+                "far": self._far.items.copy(),
+                "level": self.level}
+
+    def restore(self, state: dict) -> None:
+        """Reinstall state captured by :meth:`snapshot`."""
+        self._near = Frontier(state["near"].copy(), self.kind)
+        self._far = Frontier(state["far"].copy(), self.kind)
+        self.level = int(state["level"])
+
     def pop_near(self, iteration: int = -1) -> Frontier:
         """Take the near slice; advance the level if it is empty.
 

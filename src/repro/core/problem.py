@@ -54,6 +54,33 @@ class ProblemBase:
         setattr(self, name, arr)
         return arr
 
+    def registered_arrays(self) -> Dict[str, np.ndarray]:
+        """All registered state arrays by name (vertex first, then edge).
+
+        This registry is what the memory audit enumerates, what the
+        dynamic sanitizer tracks through kernels, and what super-step
+        checkpointing (:mod:`repro.resilience.checkpoint`) snapshots and
+        restores.
+        """
+        out: Dict[str, np.ndarray] = {}
+        out.update(self._vertex_arrays)
+        out.update(self._edge_arrays)
+        return out
+
+    # -- resilience hooks --------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Extra non-array state a checkpoint must capture (overridable).
+
+        Subclasses with mutable scalars or derived structures that the
+        registered arrays do not cover (e.g. BFS's unvisited counter)
+        return copies of them here; :meth:`restore_state` reinstalls them.
+        """
+        return {}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstall state captured by :meth:`snapshot_state`."""
+
     # -- memory audit ------------------------------------------------------------
 
     def state_nbytes(self) -> int:

@@ -3,6 +3,12 @@
 These are the formats the original Gunrock distribution reads (its
 ``market`` loader) plus the two most common interchange formats for the
 paper's datasets (SNAP edge lists, DIMACS ``.gr``).
+
+Every reader raises :class:`GraphIOError` on malformed input, naming the
+file and (for text formats) the 1-based line where parsing failed, so a
+bad dataset is diagnosable without a stack trace.  It subclasses
+``ValueError`` for backward compatibility; the CLI maps it to exit
+status 2.
 """
 
 from __future__ import annotations
@@ -18,7 +24,27 @@ from .csr import Csr
 PathLike = Union[str, Path]
 
 
+class GraphIOError(ValueError):
+    """A graph file could not be read; carries file and line context."""
+
+    def __init__(self, message: str, *, path: Optional[PathLike] = None,
+                 line: Optional[int] = None):
+        self.path = None if path is None else str(path)
+        self.line = line
+        where = ""
+        if self.path is not None:
+            where = self.path if line is None else f"{self.path}:{line}"
+            where += ": "
+        super().__init__(f"{where}{message}")
+
+
 def _open_text(path: PathLike, mode: str):
+    if "r" in mode:
+        p = Path(path)
+        try:
+            return open(p, mode, encoding="utf-8")
+        except OSError as exc:
+            raise GraphIOError(exc.strerror or str(exc), path=path) from exc
     return open(Path(path), mode, encoding="utf-8")
 
 
@@ -44,19 +70,26 @@ def read_edgelist(path: PathLike, n: Optional[int] = None,
     """Read a SNAP-style edge list; a third column becomes edge weights."""
     srcs, dsts, vals = [], [], []
     with _open_text(path, "r") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line or line.startswith(("#", "%")):
                 continue
             parts = line.split()
             if len(parts) < 2:
-                raise ValueError(f"malformed edge line: {line!r}")
-            srcs.append(int(parts[0]))
-            dsts.append(int(parts[1]))
-            if len(parts) >= 3:
-                vals.append(float(parts[2]))
-    if vals and len(vals) != len(srcs):
-        raise ValueError("some edges have weights and some do not")
+                raise GraphIOError(f"malformed edge line: {line!r}",
+                                   path=path, line=lineno)
+            try:
+                srcs.append(int(parts[0]))
+                dsts.append(int(parts[1]))
+                if len(parts) >= 3:
+                    vals.append(float(parts[2]))
+            except ValueError:
+                raise GraphIOError(f"non-numeric edge entry: {line!r}",
+                                   path=path, line=lineno) from None
+            if vals and len(vals) != len(srcs):
+                raise GraphIOError(
+                    "some edges have weights and some do not",
+                    path=path, line=lineno)
     src = np.asarray(srcs, dtype=np.int64) if srcs else np.zeros(0, np.int64)
     dst = np.asarray(dsts, dtype=np.int64) if dsts else np.zeros(0, np.int64)
     if n is None:
@@ -94,27 +127,47 @@ def read_matrix_market(path: PathLike, undirected: Optional[bool] = None) -> Csr
     with _open_text(path, "r") as fh:
         header = fh.readline()
         if not header.startswith("%%MatrixMarket"):
-            raise ValueError("not a MatrixMarket file")
+            raise GraphIOError("not a MatrixMarket file", path=path, line=1)
         tokens = header.lower().split()
         if "coordinate" not in tokens:
-            raise ValueError("only coordinate MatrixMarket files are supported")
+            raise GraphIOError(
+                "only coordinate MatrixMarket files are supported",
+                path=path, line=1)
         pattern = "pattern" in tokens
         symmetric = "symmetric" in tokens
+        lineno = 1
         line = fh.readline()
+        lineno += 1
         while line.startswith("%"):
             line = fh.readline()
-        rows, cols, nnz = (int(x) for x in line.split())
+            lineno += 1
+        try:
+            rows, cols, nnz = (int(x) for x in line.split())
+        except ValueError:
+            raise GraphIOError(f"malformed size line: {line.strip()!r}",
+                               path=path, line=lineno) from None
         if rows != cols:
-            raise ValueError("adjacency matrix must be square")
+            raise GraphIOError("adjacency matrix must be square",
+                               path=path, line=lineno)
         src = np.empty(nnz, dtype=np.int64)
         dst = np.empty(nnz, dtype=np.int64)
         vals = None if pattern else np.empty(nnz, dtype=np.float64)
         for i in range(nnz):
-            parts = fh.readline().split()
-            src[i] = int(parts[0]) - 1
-            dst[i] = int(parts[1]) - 1
-            if vals is not None:
-                vals[i] = float(parts[2])
+            line = fh.readline()
+            lineno += 1
+            if not line:
+                raise GraphIOError(
+                    f"unexpected end of file: expected {nnz} entries, "
+                    f"got {i}", path=path, line=lineno)
+            parts = line.split()
+            try:
+                src[i] = int(parts[0]) - 1
+                dst[i] = int(parts[1]) - 1
+                if vals is not None:
+                    vals[i] = float(parts[2])
+            except (ValueError, IndexError):
+                raise GraphIOError(f"malformed entry: {line.strip()!r}",
+                                   path=path, line=lineno) from None
     coo = Coo(src, dst, rows, vals)
     if undirected is None:
         undirected = symmetric
@@ -142,7 +195,14 @@ def read_npz(path: PathLike) -> Csr:
     """Load a binary CSR snapshot written by :func:`write_npz`."""
     import numpy as _np
 
-    with _np.load(str(path)) as data:
+    try:
+        data = _np.load(str(path))
+    except OSError as exc:
+        raise GraphIOError(str(exc), path=path) from exc
+    with data:
+        if "indptr" not in data or "indices" not in data:
+            raise GraphIOError("not a repro CSR snapshot "
+                               "(missing 'indptr'/'indices')", path=path)
         values = data["edge_values"] if "edge_values" in data else None
         return Csr(data["indptr"], data["indices"], values,
                    n=int(data["n"]))
@@ -165,19 +225,28 @@ def read_dimacs(path: PathLike) -> Csr:
     srcs, dsts, vals = [], [], []
     n = 0
     with _open_text(path, "r") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             if line.startswith("c") or not line.strip():
                 continue
-            if line.startswith("p"):
-                parts = line.split()
-                n = int(parts[2])
-            elif line.startswith("a"):
-                _, s, d, w = line.split()
-                srcs.append(int(s) - 1)
-                dsts.append(int(d) - 1)
-                vals.append(float(w))
-            else:
-                raise ValueError(f"unexpected DIMACS line: {line!r}")
+            try:
+                if line.startswith("p"):
+                    parts = line.split()
+                    n = int(parts[2])
+                elif line.startswith("a"):
+                    _, s, d, w = line.split()
+                    srcs.append(int(s) - 1)
+                    dsts.append(int(d) - 1)
+                    vals.append(float(w))
+                else:
+                    raise GraphIOError(
+                        f"unexpected DIMACS line: {line.strip()!r}",
+                        path=path, line=lineno)
+            except GraphIOError:
+                raise
+            except (ValueError, IndexError):
+                raise GraphIOError(
+                    f"malformed DIMACS line: {line.strip()!r}",
+                    path=path, line=lineno) from None
     coo = Coo(np.asarray(srcs, np.int64) if srcs else np.zeros(0, np.int64),
               np.asarray(dsts, np.int64) if dsts else np.zeros(0, np.int64),
               n, np.asarray(vals) if vals else None)

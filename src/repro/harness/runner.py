@@ -26,6 +26,8 @@ class Cell:
     mteps: Optional[float]
     wall_ms: float = 0.0
     iterations: int = 0
+    #: the cell exceeded its wall-clock budget and was abandoned
+    timed_out: bool = False
 
     @property
     def supported(self) -> bool:
@@ -80,17 +82,56 @@ def geomean(values: Sequence[float]) -> float:
 
 
 def run_cell(fw: Framework, primitive: str, graph: Csr, dataset: str,
-             src: int = 0, pagerank_max_iter: Optional[int] = None) -> Cell:
-    """Run one framework/primitive/dataset combination."""
+             src: int = 0, pagerank_max_iter: Optional[int] = None,
+             timeout_s: Optional[float] = None) -> Cell:
+    """Run one framework/primitive/dataset combination.
+
+    ``timeout_s`` (default off) is a wall-clock budget for the cell: a
+    combination that exceeds it is reported as an unsupported cell with
+    ``timed_out=True`` instead of stalling the whole matrix.  The
+    straggling computation is abandoned on a daemon thread (pure-Python
+    simulation has no cancellation point), so a timed-out matrix run
+    still finishes promptly.
+    """
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive (or None to disable)")
     t0 = time.perf_counter()
-    try:
-        kwargs = {}
-        if primitive == "pagerank" and pagerank_max_iter is not None:
-            kwargs["max_iterations"] = pagerank_max_iter
-        result: FrameworkResult = fw.run(primitive, graph, src=src, **kwargs)
-    except Unsupported:
-        return Cell(fw.name, primitive, dataset, None, None,
-                    wall_ms=(time.perf_counter() - t0) * 1e3)
+    kwargs = {}
+    if primitive == "pagerank" and pagerank_max_iter is not None:
+        kwargs["max_iterations"] = pagerank_max_iter
+    if timeout_s is None:
+        try:
+            result: FrameworkResult = fw.run(primitive, graph, src=src,
+                                             **kwargs)
+        except Unsupported:
+            return Cell(fw.name, primitive, dataset, None, None,
+                        wall_ms=(time.perf_counter() - t0) * 1e3)
+    else:
+        import threading
+
+        outcome: dict = {}
+
+        def _target() -> None:
+            try:
+                outcome["result"] = fw.run(primitive, graph, src=src,
+                                           **kwargs)
+            except BaseException as exc:  # delivered to the caller below
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=_target, daemon=True,
+                                  name=f"cell-{fw.name}-{primitive}")
+        worker.start()
+        worker.join(timeout_s)
+        wall = (time.perf_counter() - t0) * 1e3
+        if worker.is_alive():
+            return Cell(fw.name, primitive, dataset, None, None,
+                        wall_ms=wall, timed_out=True)
+        if isinstance(outcome.get("error"), Unsupported):
+            return Cell(fw.name, primitive, dataset, None, None,
+                        wall_ms=wall)
+        if "error" in outcome:
+            raise outcome["error"]
+        result = outcome["result"]
     wall = (time.perf_counter() - t0) * 1e3
     return Cell(fw.name, primitive, dataset, result.runtime_ms,
                 result.mteps(graph.m), wall_ms=wall,
@@ -102,11 +143,14 @@ def run_matrix(scale: float = datasets.DEFAULT_SCALE,
                dataset_names: Sequence[str] = tuple(datasets.TABLE_ORDER),
                frameworks: Optional[Sequence[Framework]] = None,
                seed: int = 42, src: int = 0,
-               weight_seed: int = 7) -> Matrix:
+               weight_seed: int = 7,
+               cell_timeout_s: Optional[float] = None) -> Matrix:
     """Reproduce the Table 2 grid at the given dataset scale.
 
     SSSP rows run on the weighted variant of each dataset ("random values
     between 1 and 64"), everything else on the unweighted topology.
+    ``cell_timeout_s`` bounds each cell's wall-clock time (off by
+    default; see :func:`run_cell`).
     """
     if frameworks is None:
         frameworks = [cls() for cls in ALL_FRAMEWORKS]
@@ -118,7 +162,8 @@ def run_matrix(scale: float = datasets.DEFAULT_SCALE,
         for primitive in primitives:
             g = weighted if primitive == "sssp" else graph
             for fw in frameworks:
-                matrix.add(run_cell(fw, primitive, g, name, src=source))
+                matrix.add(run_cell(fw, primitive, g, name, src=source,
+                                    timeout_s=cell_timeout_s))
     return matrix
 
 

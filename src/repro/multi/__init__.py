@@ -3,13 +3,13 @@ implemented: 1D partitioning, an interconnect cost model, and multi-GPU
 BFS / PageRank whose results are bit-identical to the single-GPU
 primitives."""
 
-from .partition import Partition, PartitionedGraph, partition_1d
+from .partition import Partition, PartitionedGraph, partition_1d, redistribute
 from .machine import InterconnectSpec, MultiMachine
 from .bfs import MultiBfsResult, multi_gpu_bfs
 from .pagerank import MultiPagerankResult, multi_gpu_pagerank
 
 __all__ = [
-    "Partition", "PartitionedGraph", "partition_1d",
+    "Partition", "PartitionedGraph", "partition_1d", "redistribute",
     "InterconnectSpec", "MultiMachine",
     "MultiBfsResult", "multi_gpu_bfs",
     "MultiPagerankResult", "multi_gpu_pagerank",

@@ -6,13 +6,24 @@ per-message latency plus bytes / bandwidth.  This is the §7 "multiple
 GPUs on a single node" configuration; parameters default to a
 Kepler-era node (PCIe 3.0 x16 per device, peer-to-peer through the
 switch).
+
+Fault tolerance (:mod:`repro.resilience`): :meth:`MultiMachine.attach`
+installs a fault injector on every device so ``device-loss`` and
+``straggler`` faults fire inside per-device kernel launches;
+:meth:`exchange` retries timed-out transfers with exponential backoff;
+:meth:`abort_step` closes out a super-step that died mid-flight (the
+partial compute is still accounted — that time really passed); and
+:meth:`reshard` charges the traffic of redistributing a dead device's
+partition to the survivors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
+from ..resilience.faults import ExchangeTimeout, FaultKind, as_injector
+from ..resilience.recovery import RecoveryStats, RetryPolicy
 from ..simt.machine import GPUSpec, Machine
 
 
@@ -44,32 +55,138 @@ class MultiMachine:
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ValueError("need at least one device")
-        self.devices: List[Machine] = [Machine(spec=self.spec)
-                                       for _ in range(self.k)]
+        self.devices: List[Machine] = [Machine(spec=self.spec, device_index=i)
+                                       for i in range(self.k)]
+        self.alive: List[bool] = [True] * self.k
         self.comm_ms = 0.0
         self.comm_bytes = 0.0
+        self.reshard_ms = 0.0
+        self.reshard_bytes = 0.0
         self.supersteps = 0
+        #: ordinal of the next/current exchange — the ``step`` that
+        #: ``exchange``-site fault specs are matched against (distinct from
+        #: ``supersteps``, which advances twice per BSP depth in the
+        #: two-phase drivers)
+        self.exchanges = 0
         self._step_ms = 0.0
         self._marks = [0.0] * self.k
+        self._in_step = False
+        self.injector = None
+        self.retry = RetryPolicy()
+        self.recovery = RecoveryStats()
+
+    # -- resilience ----------------------------------------------------------
+
+    def attach(self, faults=None, retry: Optional[RetryPolicy] = None):
+        """Install a fault injector (and retry policy) across all devices."""
+        self.injector = as_injector(faults)
+        if retry is not None:
+            self.retry = retry
+        for dev in self.devices:
+            dev.injector = self.injector if self.alive[dev.device_index] \
+                else None
+        return self.injector
+
+    @property
+    def n_alive(self) -> int:
+        return sum(self.alive)
+
+    def is_alive(self, device: int) -> bool:
+        return self.alive[device]
+
+    def alive_devices(self) -> List[int]:
+        return [d for d in range(self.k) if self.alive[d]]
+
+    def fail_device(self, device: int) -> None:
+        """Mark a device dead; it charges no further time and fires no
+        further faults."""
+        if not 0 <= device < self.k:
+            raise ValueError(f"device {device} out of range for k={self.k}")
+        if not self.alive[device]:
+            return
+        self.alive[device] = False
+        self.devices[device].injector = None
 
     # -- super-step protocol -------------------------------------------------
 
     def begin_step(self) -> None:
+        if self._in_step:
+            raise RuntimeError(
+                "begin_step called twice without end_step: unbalanced "
+                "super-step accounting (call end_step or abort_step first)")
+        self._in_step = True
         self.supersteps += 1
         self._marks = [d.elapsed_ms() for d in self.devices]
 
     def end_step(self) -> None:
+        if not self._in_step:
+            raise RuntimeError("end_step without a matching begin_step")
+        self._in_step = False
+        self._accrue()
+
+    def abort_step(self) -> None:
+        """Close out a super-step that died mid-flight (e.g. DeviceLost).
+
+        The compute charged before the fault is real elapsed time, so it
+        is accrued like a normal step; safe to call outside a step.
+        """
+        if not self._in_step:
+            return
+        self._in_step = False
+        self._accrue()
+
+    def _accrue(self) -> None:
         deltas = [d.elapsed_ms() - m
                   for d, m in zip(self.devices, self._marks)]
         self._step_ms += max(deltas) if deltas else 0.0
 
     def exchange(self, total_bytes: float, n_messages: int = None) -> None:
-        """An all-to-all frontier exchange of the given volume."""
-        msgs = self.k * (self.k - 1) if n_messages is None else n_messages
-        if self.k > 1:
-            ms = self.interconnect.transfer_ms(total_bytes, msgs)
-            self.comm_ms += ms
-            self.comm_bytes += total_bytes
+        """An all-to-all frontier exchange of the given volume.
+
+        When a fault injector is attached, ``exchange-timeout`` specs
+        whose ``step`` matches this exchange's ordinal fire here: each
+        firing wastes the full transfer time plus an exponential-backoff
+        wait, then the transfer is retried; a spec with ``count=c``
+        times out ``c`` consecutive attempts.  Exhausting
+        ``retry.max_retries`` raises :class:`ExchangeTimeout`.
+        """
+        a = self.n_alive
+        msgs = a * (a - 1) if n_messages is None else n_messages
+        if self.k <= 1:
+            return
+        self.exchanges += 1
+        attempt = 0
+        while self.injector is not None:
+            spec = self.injector.poll(site="exchange", step=self.exchanges,
+                                      kinds=(FaultKind.EXCHANGE_TIMEOUT,))
+            if spec is None:
+                break
+            self.recovery.record_fault(FaultKind.EXCHANGE_TIMEOUT.value)
+            if attempt >= self.retry.max_retries:
+                raise ExchangeTimeout(
+                    step=self.exchanges, site="exchange",
+                    detail=f"retries exhausted after {attempt} attempts")
+            # the timed-out attempt occupied the link for the full window,
+            # then we back off before going again
+            backoff = self.retry.backoff_ms(attempt)
+            self.comm_ms += self.interconnect.transfer_ms(total_bytes, msgs) \
+                + backoff
+            self.recovery.retry_attempts += 1
+            self.recovery.backoff_ms += backoff
+            self.recovery.faults_recovered += 1
+            attempt += 1
+        ms = self.interconnect.transfer_ms(total_bytes, msgs)
+        self.comm_ms += ms
+        self.comm_bytes += total_bytes
+
+    def reshard(self, total_bytes: float) -> None:
+        """Charge the traffic of moving a dead device's partition to the
+        survivors (graceful-degradation recovery)."""
+        ms = self.interconnect.transfer_ms(total_bytes, max(1, self.n_alive))
+        self.reshard_ms += ms
+        self.reshard_bytes += total_bytes
+        self.comm_ms += ms
+        self.comm_bytes += total_bytes
 
     # -- reporting --------------------------------------------------------------
 
@@ -83,3 +200,17 @@ class MultiMachine:
     def total_device_ms(self) -> float:
         """Sum of all device-busy time (for efficiency metrics)."""
         return sum(d.elapsed_ms() for d in self.devices)
+
+    def recovery_summary(self) -> Optional[dict]:
+        """Recovery statistics for a resilient run (None when inert)."""
+        if self.injector is None and self.recovery.faults_seen == 0:
+            return None
+        out = self.recovery.as_dict()
+        out["devices_failed"] = [d for d in range(self.k)
+                                 if not self.alive[d]]
+        out["reshard_bytes"] = self.reshard_bytes
+        out["reshard_ms"] = self.reshard_ms
+        if self.injector is not None:
+            out["faults_injected"] = self.injector.injected
+            out["injected_by_kind"] = self.injector.injected_by_kind()
+        return out

@@ -4,6 +4,14 @@ Residual-push PageRank where each device scatters along its owned rows;
 contributions to remote vertices accumulate in per-device send buffers
 and are exchanged once per super-step (the classic "boundary
 accumulation" pattern).  Results match the single-GPU primitive.
+
+Fault tolerance mirrors :mod:`repro.multi.bfs`: each iteration scatters
+into a scratch ``residual_next`` buffer and only commits into the global
+``rank`` / ``residual`` arrays after every kernel launch of the
+iteration has completed.  A ``device-loss`` fault therefore aborts to an
+unmutated iteration; recovery redistributes the dead partition over the
+survivors, re-buckets the active set, charges the re-shard traffic, and
+replays the iteration on ``k-1`` devices.
 """
 
 from __future__ import annotations
@@ -14,7 +22,10 @@ from typing import Optional
 import numpy as np
 
 from ..graph.csr import Csr
+from ..resilience.faults import DeviceLost
+from ..resilience.recovery import RetryPolicy
 from ..simt import calib
+from .bfs import _recover_device_loss
 from .machine import MultiMachine
 from .partition import PartitionedGraph, partition_1d
 
@@ -28,20 +39,31 @@ class MultiPagerankResult:
     elapsed_ms: float
     compute_ms: float
     comm_ms: float
+    #: recovery statistics when the run executed with fault injection
+    recovery: Optional[dict] = None
 
 
 def multi_gpu_pagerank(graph: Csr, k: int = 2, *, damping: float = 0.85,
                        tolerance: Optional[float] = None,
                        method: str = "contiguous",
                        machine: Optional[MultiMachine] = None,
-                       max_iterations: int = 1000) -> MultiPagerankResult:
-    """Residual-push PageRank across ``k`` simulated devices."""
+                       max_iterations: int = 1000,
+                       faults=None,
+                       retry: Optional[RetryPolicy] = None
+                       ) -> MultiPagerankResult:
+    """Residual-push PageRank across ``k`` simulated devices.
+
+    ``faults`` / ``retry`` enable fault-tolerant execution
+    (:mod:`repro.resilience`); ranks are identical to the fault-free run.
+    """
     n = max(1, graph.n)
     tol = (0.01 / n) if tolerance is None else tolerance
     pg: PartitionedGraph = partition_1d(graph, k, method=method)
     mm = machine if machine is not None else MultiMachine(k=k)
     if mm.k != k:
         raise ValueError("machine.k must match k")
+    if faults is not None or retry is not None:
+        mm.attach(faults, retry)
 
     base = (1.0 - damping) / n
     rank = np.full(graph.n, base)
@@ -57,53 +79,80 @@ def multi_gpu_pagerank(graph: Csr, k: int = 2, *, damping: float = 0.85,
     iterations = 0
     while any(len(a) for a in active) and iterations < max_iterations:
         iterations += 1
-        residual_next = np.zeros(graph.n)
-        remote_contribs = 0
-        mm.begin_step()
-        for d, part in enumerate(pg.parts):
-            f = active[d]
-            if len(f) == 0:
-                continue
-            rows = local_pos[f]
-            degs = (part.indptr[rows + 1] - part.indptr[rows]).astype(np.int64)
-            total = int(degs.sum())
-            dev = mm.devices[d]
-            dev.launch("mgpu_pr_scatter",
-                       body_cycles=total * calib.C_EDGE / dev.spec.num_sm
-                       + total * calib.C_ATOMIC_THROUGHPUT,
-                       items=total, iteration=iterations)
-            dev.counters.record_edges(total)
-            if total == 0:
-                continue
-            offsets = np.concatenate([[0], np.cumsum(degs)])
-            eids = np.repeat(part.indptr[rows] - offsets[:-1], degs) \
-                + np.arange(total)
-            dsts = part.indices[eids]
-            seg = np.repeat(np.arange(len(f)), degs)
-            contrib = damping * residual[f][seg] / degrees[f][seg]
-            np.add.at(residual_next, dsts, contrib)
-            # contributions to each remote vertex are combined on-device
-            # before shipping (boundary aggregation), so the wire volume
-            # is one entry per distinct remote destination
-            remote = dsts[pg.owner[dsts] != d]
-            remote_contribs += len(np.unique(remote))
-        mm.end_step()
+        try:
+            residual_next = np.zeros(graph.n)
+            remote_contribs = 0
+            # per-device (global edge id, destination, contribution) triples;
+            # the commit below reduces them in global-edge order so the
+            # floating-point sum is identical for every partitioning (and
+            # hence before/after a device-loss redistribution)
+            pending = []
+            mm.begin_step()
+            for d, part in enumerate(pg.parts):
+                f = active[d]
+                if len(f) == 0:
+                    continue
+                rows = local_pos[f]
+                degs = (part.indptr[rows + 1]
+                        - part.indptr[rows]).astype(np.int64)
+                total = int(degs.sum())
+                dev = mm.devices[d]
+                dev.launch("mgpu_pr_scatter",
+                           body_cycles=total * calib.C_EDGE / dev.spec.num_sm
+                           + total * calib.C_ATOMIC_THROUGHPUT,
+                           items=total, iteration=iterations)
+                dev.counters.record_edges(total)
+                if total == 0:
+                    continue
+                offsets = np.concatenate([[0], np.cumsum(degs)])
+                eids = np.repeat(part.indptr[rows] - offsets[:-1], degs) \
+                    + np.arange(total)
+                dsts = part.indices[eids]
+                geids = np.repeat(graph.indptr[f] - offsets[:-1], degs) \
+                    + np.arange(total)
+                seg = np.repeat(np.arange(len(f)), degs)
+                contrib = damping * residual[f][seg] / degrees[f][seg]
+                pending.append((geids, dsts, contrib))
+                # contributions to each remote vertex are combined on-device
+                # before shipping (boundary aggregation), so the wire volume
+                # is one entry per distinct remote destination
+                remote = dsts[pg.owner[dsts] != d]
+                remote_contribs += len(np.unique(remote))
+            mm.end_step()
+            if pending:
+                geids = np.concatenate([p[0] for p in pending])
+                dsts = np.concatenate([p[1] for p in pending])
+                contrib = np.concatenate([p[2] for p in pending])
+                order = np.argsort(geids, kind="stable")
+                np.add.at(residual_next, dsts[order], contrib[order])
 
-        mm.exchange(remote_contribs * _BYTES_PER_CONTRIB)
+            mm.exchange(remote_contribs * _BYTES_PER_CONTRIB)
 
-        mm.begin_step()
+            # commit kernels all launch before any rank/residual write, so
+            # a device loss here still aborts to an unmutated iteration
+            mm.begin_step()
+            for d, part in enumerate(pg.parts):
+                if mm.is_alive(d) and part.n_local:
+                    mm.devices[d].map_kernel("mgpu_pr_commit", part.n_local,
+                                             calib.C_VERTEX,
+                                             iteration=iterations)
+            mm.end_step()
+        except DeviceLost as fault:
+            in_flight = np.concatenate(active) if k > 1 else active[0]
+            pg, local_pos, active = _recover_device_loss(
+                mm, pg, fault, in_flight)
+            iterations -= 1
+            continue
         new_active = []
         for d, part in enumerate(pg.parts):
             verts = part.vertices
             res = residual_next[verts]
             rank[verts] += res
             residual[verts] = res
-            mm.devices[d].map_kernel("mgpu_pr_commit", part.n_local,
-                                     calib.C_VERTEX, iteration=iterations)
             new_active.append(verts[res > tol])
-        mm.end_step()
         active = new_active
 
     return MultiPagerankResult(rank=rank, iterations=iterations,
                                elapsed_ms=mm.elapsed_ms(),
-                               compute_ms=mm.compute_ms(), comm_ms=mm.comm_ms)
+                               compute_ms=mm.compute_ms(), comm_ms=mm.comm_ms,
+                               recovery=mm.recovery_summary())

@@ -88,7 +88,11 @@ def partition_1d(graph: Csr, k: int, method: str = "contiguous") -> PartitionedG
         owner = (np.arange(n, dtype=np.int64) % k)
     else:
         raise ValueError(f"unknown partition method {method!r}")
+    return PartitionedGraph(graph, _build_parts(graph, owner, k), owner)
 
+
+def _build_parts(graph: Csr, owner: np.ndarray, k: int) -> List[Partition]:
+    """Materialize each device's local CSR from an ownership vector."""
     parts = []
     for d in range(k):
         verts = np.flatnonzero(owner == d).astype(np.int64)
@@ -104,4 +108,28 @@ def partition_1d(graph: Csr, k: int, method: str = "contiguous") -> PartitionedG
         else:
             indices = np.zeros(0, dtype=np.int64)
         parts.append(Partition(d, verts, indptr, indices))
-    return PartitionedGraph(graph, parts, owner)
+    return parts
+
+
+def redistribute(pg: PartitionedGraph, dead: int,
+                 survivors: List[int]) -> PartitionedGraph:
+    """Reassign a dead device's vertices round-robin over the survivors.
+
+    Graceful-degradation recovery for ``device-loss`` faults: the
+    returned partitioning keeps ``k`` slots (the dead device's partition
+    is empty) so device indices stay stable, while every vertex the dead
+    device owned gets a new live owner.  Round-robin keeps the added
+    load spread evenly regardless of how id-clustered the dead range
+    was.  The caller charges the re-shard traffic via
+    :meth:`repro.multi.machine.MultiMachine.reshard`.
+    """
+    if not survivors:
+        raise ValueError("cannot redistribute with no surviving devices")
+    if dead in survivors:
+        raise ValueError(f"device {dead} cannot survive its own loss")
+    owner = pg.owner.copy()
+    orphans = pg.parts[dead].vertices
+    owner[orphans] = np.asarray(survivors, dtype=np.int64)[
+        np.arange(len(orphans)) % len(survivors)]
+    return PartitionedGraph(pg.graph, _build_parts(pg.graph, owner, pg.k),
+                            owner)

@@ -67,6 +67,13 @@ class BfsProblem(ProblemBase):
     def unvisited_mask(self) -> np.ndarray:
         return self.labels < 0
 
+    def snapshot_state(self) -> dict:
+        return {"num_unvisited": self.num_unvisited}
+
+    def restore_state(self, state: dict) -> None:
+        if "num_unvisited" in state:
+            self.num_unvisited = int(state["num_unvisited"])
+
 
 class _IdempotentBfsFunctor(Functor):
     """No-atomics BFS step: label every not-yet-visited destination."""
@@ -115,11 +122,15 @@ class BfsEnactor(EnactorBase):
     def __init__(self, problem: BfsProblem, *, idempotent: bool = True,
                  direction: Optional[DirectionPolicy] = None,
                  lb: Optional[LoadBalancer] = None,
-                 max_iterations: Optional[int] = None):
-        super().__init__(problem, lb=lb, max_iterations=max_iterations)
+                 max_iterations: Optional[int] = None, **resilience):
+        super().__init__(problem, lb=lb, max_iterations=max_iterations,
+                         **resilience)
         self.idempotent = idempotent
         self.direction = direction if direction is not None else FixedDirection("push")
         self.heuristics = IdempotenceHeuristics() if idempotent else None
+        # the no-atomics BFS step may be re-applied harmlessly, so a
+        # transient fault before its first kernel replays restore-free
+        self.idempotent_replay = idempotent
 
     def _iterate(self, frontier: Frontier) -> Frontier:
         P: BfsProblem = self.problem
@@ -151,7 +162,9 @@ class BfsResult(PrimitiveResult):
 def bfs(graph: Csr, src: int, *, machine: Optional[Machine] = None,
         idempotent: bool = True, direction: str = "auto",
         lb: Optional[LoadBalancer] = None, record_preds: bool = True,
-        max_iterations: Optional[int] = None) -> BfsResult:
+        max_iterations: Optional[int] = None,
+        checkpoint_every: Optional[int] = None, faults=None,
+        retry=None) -> BfsResult:
     """Run BFS from ``src``.
 
     Parameters
@@ -162,6 +175,10 @@ def bfs(graph: Csr, src: int, *, machine: Optional[Machine] = None,
     idempotent:
         Use the atomics-free advance + cheap-dedup filter (the paper's
         fastest configuration).
+    checkpoint_every / faults / retry:
+        Fault-tolerant execution (:mod:`repro.resilience`): snapshot
+        interval in super-steps, a ``FaultPlan``/``FaultInjector``, and
+        the retry policy for recoverable faults.
     """
     policy: DirectionPolicy
     if direction == "auto":
@@ -171,7 +188,9 @@ def bfs(graph: Csr, src: int, *, machine: Optional[Machine] = None,
     problem = BfsProblem(graph, machine, record_preds=record_preds)
     problem.set_source(src)
     enactor = BfsEnactor(problem, idempotent=idempotent, direction=policy,
-                         lb=lb, max_iterations=max_iterations)
+                         lb=lb, max_iterations=max_iterations,
+                         checkpoint_every=checkpoint_every, faults=faults,
+                         retry=retry)
     enactor.enact(Frontier.from_vertex(src))
     result = BfsResult(arrays={"labels": problem.labels})
     if record_preds:

@@ -159,17 +159,23 @@ class PagerankResult(PrimitiveResult):
 def pagerank(graph: Csr, *, machine: Optional[Machine] = None,
              damping: float = 0.85, tolerance: Optional[float] = None,
              lb: Optional[LoadBalancer] = None,
-             max_iterations: Optional[int] = 1000) -> PagerankResult:
+             max_iterations: Optional[int] = 1000,
+             checkpoint_every: Optional[int] = None, faults=None,
+             retry=None) -> PagerankResult:
     """Run PageRank to convergence (or ``max_iterations=1`` for the
     single-iteration timing the paper bolds against Ligra).
 
     Zero-out-degree vertices retain their mass rather than redistributing
     it (the convention of the GPU frameworks the paper compares against).
     The paper's datasets are symmetrized, so none arise there.
+    ``checkpoint_every`` / ``faults`` / ``retry`` configure
+    fault-tolerant execution (:mod:`repro.resilience`).
     """
     problem = PagerankProblem(graph, machine, damping=damping,
                               tolerance=tolerance)
-    enactor = PagerankEnactor(problem, lb=lb, max_iterations=max_iterations)
+    enactor = PagerankEnactor(problem, lb=lb, max_iterations=max_iterations,
+                              checkpoint_every=checkpoint_every,
+                              faults=faults, retry=retry)
     enactor.enact(Frontier.all_vertices(graph.n))
     result = PagerankResult(arrays={"rank": problem.rank})
     return finish(result, machine, enactor)

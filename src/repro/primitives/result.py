@@ -24,6 +24,9 @@ class PrimitiveResult:
     elapsed_ms: Optional[float] = None
     enactor_stats: Optional[EnactorStats] = None
     machine: Optional[Machine] = None
+    #: recovery statistics when the run executed with resilience enabled
+    #: (:mod:`repro.resilience`); None otherwise
+    recovery: Optional[Dict[str, Any]] = None
 
     def __getitem__(self, key: str):
         return self.arrays[key]
@@ -53,4 +56,7 @@ def finish(result: PrimitiveResult, machine: Optional[Machine],
     if enactor is not None:
         result.enactor_stats = enactor.stats
         result.iterations = enactor.stats.iterations
+        summary = getattr(enactor, "recovery_summary", None)
+        if summary is not None:
+            result.recovery = summary()
     return result

@@ -81,13 +81,23 @@ class SsspEnactor(EnactorBase):
 
     def __init__(self, problem: SsspProblem, *, delta: Optional[float],
                  lb: Optional[LoadBalancer] = None,
-                 max_iterations: Optional[int] = None):
-        super().__init__(problem, lb=lb, max_iterations=max_iterations)
+                 max_iterations: Optional[int] = None, **resilience):
+        super().__init__(problem, lb=lb, max_iterations=max_iterations,
+                         **resilience)
         self.delta = delta
         self.pile: Optional[NearFarPile] = None
         if delta is not None:
             self.pile = NearFarPile(
                 problem, lambda P, v: P.labels[v], delta)
+
+    # the near/far pile carries state across super-steps, so rollback
+    # recovery must checkpoint and restore it alongside the arrays
+    def _enactor_state(self) -> dict:
+        return {"pile": self.pile.snapshot()} if self.pile is not None else {}
+
+    def _restore_state(self, state: dict) -> None:
+        if self.pile is not None and "pile" in state:
+            self.pile.restore(state["pile"])
 
     def _dedupe(self, frontier: Frontier) -> Frontier:
         """Exact duplicate removal, standing in for the output-queue-id
@@ -133,18 +143,24 @@ def default_delta(graph: Csr) -> float:
 def sssp(graph: Csr, src: int, *, machine: Optional[Machine] = None,
          delta: Optional[float] = None, use_priority_queue: bool = True,
          lb: Optional[LoadBalancer] = None,
-         max_iterations: Optional[int] = None) -> SsspResult:
+         max_iterations: Optional[int] = None,
+         checkpoint_every: Optional[int] = None, faults=None,
+         retry=None) -> SsspResult:
     """Run SSSP from ``src`` on a non-negatively weighted graph.
 
     ``use_priority_queue=False`` disables the near/far pile (the ablation
-    arm); ``delta`` overrides the split width.
+    arm); ``delta`` overrides the split width.  ``checkpoint_every`` /
+    ``faults`` / ``retry`` configure fault-tolerant execution
+    (:mod:`repro.resilience`).
     """
     problem = SsspProblem(graph, machine)
     problem.set_source(src)
     if use_priority_queue and delta is None:
         delta = default_delta(graph)
     enactor = SsspEnactor(problem, delta=delta if use_priority_queue else None,
-                          lb=lb, max_iterations=max_iterations)
+                          lb=lb, max_iterations=max_iterations,
+                          checkpoint_every=checkpoint_every, faults=faults,
+                          retry=retry)
     enactor.enact(Frontier.from_vertex(src))
     result = SsspResult(arrays={"labels": problem.labels,
                                 "preds": problem.preds})

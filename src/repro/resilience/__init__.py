@@ -1,0 +1,36 @@
+"""Fault-tolerant BSP execution: fault injection, super-step
+checkpointing, and retry/rollback/degrade recovery.
+
+The subsystem has three parts, wired through
+``EnactorBase(checkpoint_every=..., faults=..., retry=...)``, the
+multi-GPU drivers, and the ``python -m repro chaos`` CLI:
+
+* :mod:`repro.resilience.faults` — a deterministic, seed-driven
+  :class:`FaultPlan` / :class:`FaultInjector` pair covering device-loss,
+  exchange-timeout, transient-kernel, corruption, and straggler faults;
+* :mod:`repro.resilience.checkpoint` — copy-on-write super-step
+  snapshots of the Problem's registered arrays plus the frontier, costed
+  against the simulated machine;
+* :mod:`repro.resilience.recovery` — :class:`RetryPolicy` (exponential
+  backoff) and :class:`RecoveryStats`.
+
+``repro.resilience.chaos`` (imported lazily by the CLI — it depends on
+the primitives layer) runs any primitive under a fault schedule and
+verifies post-recovery results against a fault-free run.
+"""
+
+from .faults import (FaultEvent, FaultInjector, FaultKind, FaultPlan,
+                     FaultSpec, FaultError, TransientKernelFault,
+                     DataCorruptionFault, DeviceLost, ExchangeTimeout,
+                     MULTI_KINDS, SINGLE_KINDS, as_injector, parse_kinds)
+from .recovery import RetryPolicy, RecoveryStats
+from .checkpoint import Checkpoint, CheckpointStore
+
+__all__ = [
+    "FaultEvent", "FaultInjector", "FaultKind", "FaultPlan", "FaultSpec",
+    "FaultError", "TransientKernelFault", "DataCorruptionFault",
+    "DeviceLost", "ExchangeTimeout", "MULTI_KINDS", "SINGLE_KINDS",
+    "as_injector", "parse_kinds",
+    "RetryPolicy", "RecoveryStats",
+    "Checkpoint", "CheckpointStore",
+]

@@ -1,0 +1,126 @@
+"""Super-step checkpointing for BSP rollback-and-replay recovery.
+
+A checkpoint snapshots the Problem's *registered* arrays (the same
+registry the memory audit and the dynamic sanitizer enumerate) plus the
+current frontier at a super-step boundary — the only points where the
+BSP contract guarantees a consistent global state.
+
+Snapshots are **copy-on-write against the previous checkpoint**: an array
+whose contents did not change since the last snapshot is shared by
+reference rather than copied, so a primitive that only mutates a couple
+of its arrays per step (BFS never rewrites ``visited`` history wholesale,
+for example) pays only for the deltas.  Bytes actually copied are charged
+to the simulated machine at memcpy cost, so the checkpoint-interval
+trade-off (short intervals: cheap replay, expensive steady state) is
+visible in the simulated-time model rather than hidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..simt import calib
+
+
+@dataclass
+class Checkpoint:
+    """One consistent super-step snapshot."""
+
+    iteration: int
+    #: registered array name -> saved copy (possibly shared with the
+    #: previous checkpoint when the array was unchanged — COW)
+    arrays: Dict[str, np.ndarray]
+    frontier_items: np.ndarray
+    frontier_kind: Any
+    #: opaque enactor/problem extra state (e.g. SSSP's near-far pile)
+    extra: Dict[str, Any] = field(default_factory=dict)
+    #: bytes actually copied for this snapshot (COW-shared arrays free)
+    nbytes: int = 0
+
+
+class CheckpointStore:
+    """A bounded ring of checkpoints for one problem instance."""
+
+    def __init__(self, problem, *, keep: int = 2):
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.problem = problem
+        self.keep = keep
+        self._checkpoints: List[Checkpoint] = []
+        self.snapshots_taken = 0
+        self.restores = 0
+        self.total_bytes = 0          # cumulative bytes copied
+        self.live_bytes = 0           # bytes held by retained checkpoints
+
+    # -- inspection ----------------------------------------------------------
+
+    def latest(self) -> Optional[Checkpoint]:
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self, iteration: int, frontier_items: np.ndarray,
+                 frontier_kind, extra: Optional[Dict[str, Any]] = None) -> Checkpoint:
+        """Snapshot registered arrays + frontier at a super-step boundary."""
+        prev = self.latest()
+        arrays: Dict[str, np.ndarray] = {}
+        copied = 0
+        for name, arr in self.problem.registered_arrays().items():
+            old = prev.arrays.get(name) if prev is not None else None
+            if old is not None and old.shape == arr.shape \
+                    and np.array_equal(old, arr):
+                arrays[name] = old          # unchanged since last snapshot
+            else:
+                arrays[name] = arr.copy()
+                copied += arr.nbytes
+        items = np.array(frontier_items, dtype=np.int64, copy=True)
+        copied += items.nbytes
+        ck = Checkpoint(iteration, arrays, items, frontier_kind,
+                        extra=dict(extra or {}), nbytes=copied)
+        self._checkpoints.append(ck)
+        if len(self._checkpoints) > self.keep:
+            self._checkpoints.pop(0)
+        self.snapshots_taken += 1
+        self.total_bytes += copied
+        self.live_bytes = sum(c.nbytes for c in self._checkpoints)
+        self._charge("checkpoint_snapshot", copied, iteration)
+        return ck
+
+    def restore(self, ck: Optional[Checkpoint] = None) -> Checkpoint:
+        """Write a checkpoint's arrays back into the live problem state.
+
+        Restores in place (``live[:] = saved``) so every reference to the
+        registered arrays — problem attributes, result views — observes
+        the rolled-back values.
+        """
+        if ck is None:
+            ck = self.latest()
+        if ck is None:
+            raise RuntimeError("no checkpoint available to restore")
+        live = self.problem.registered_arrays()
+        restored = 0
+        for name, saved in ck.arrays.items():
+            arr = live.get(name)
+            if arr is None:
+                continue
+            arr[:] = saved
+            restored += saved.nbytes
+        self.restores += 1
+        self._charge("checkpoint_restore", restored, ck.iteration)
+        return ck
+
+    # -- costing -------------------------------------------------------------
+
+    def _charge(self, name: str, nbytes: int, iteration: int) -> None:
+        machine = getattr(self.problem, "machine", None)
+        if machine is None or nbytes <= 0:
+            return
+        machine.launch(name, body_cycles=nbytes * calib.C_MEM_PER_BYTE,
+                       items=nbytes, iteration=iteration)
+        machine.counters.record_bytes(float(nbytes))

@@ -1,0 +1,64 @@
+"""Recovery policies and statistics for fault-tolerant BSP execution.
+
+The enactor and the multi-GPU machine consult a :class:`RetryPolicy` when
+an injected fault is recoverable by repetition (transient kernel faults,
+exchange timeouts): each attempt pays an exponentially growing backoff in
+*simulated* time, so recovery cost shows up honestly in the makespan.
+:class:`RecoveryStats` accumulates what happened, for the ``repro chaos``
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-exponential-backoff parameters.
+
+    ``backoff_ms(attempt)`` is the simulated stall charged before retry
+    ``attempt`` (0-based): ``base_ms * multiplier ** attempt``.
+    """
+
+    max_retries: int = 3
+    base_ms: float = 1.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_ms < 0 or self.multiplier < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def backoff_ms(self, attempt: int) -> float:
+        return self.base_ms * self.multiplier ** max(0, attempt)
+
+
+@dataclass
+class RecoveryStats:
+    """What the recovery machinery did during one run."""
+
+    faults_seen: int = 0             # faults that reached the recovery path
+    faults_recovered: int = 0
+    retry_attempts: int = 0
+    rollbacks: int = 0               # checkpoint restores triggered
+    replayed_supersteps: int = 0     # supersteps re-executed after recovery
+    backoff_ms: float = 0.0          # simulated stall charged to retries
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record_fault(self, kind: str) -> None:
+        self.faults_seen += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "faults_seen": self.faults_seen,
+            "faults_recovered": self.faults_recovered,
+            "retry_attempts": self.retry_attempts,
+            "rollbacks": self.rollbacks,
+            "replayed_supersteps": self.replayed_supersteps,
+            "backoff_ms": self.backoff_ms,
+            "by_kind": dict(self.by_kind),
+        }

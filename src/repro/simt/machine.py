@@ -83,6 +83,13 @@ class Machine:
     #: when True, kernels skip the generic framework dispatch overhead —
     #: used by the "hardwired" comparators of Section 6.
     hardwired: bool = False
+    #: position of this device in a multi-GPU node (0 when standalone)
+    device_index: int = 0
+    #: optional :class:`repro.resilience.faults.FaultInjector`: consulted
+    #: at every iteration-tagged kernel record point, it may inflate the
+    #: cycle cost (straggler fault) or raise ``DeviceLost``.  Duck-typed
+    #: so the machine layer stays import-free of the resilience package.
+    injector: Optional[object] = None
     _fusion_stack: list = field(default_factory=list, repr=False)
 
     # -- core cost entry points --------------------------------------------
@@ -113,8 +120,15 @@ class Machine:
             scope.items += items
             return cycles
         cycles += self._launch_overhead()
+        cycles = self._inject(cycles, iteration)
         self.counters.record_kernel(name, cycles, items, iteration)
         return cycles
+
+    def _inject(self, cycles: float, iteration: int) -> float:
+        """Fault hook: straggler inflation or device loss at this launch."""
+        if self.injector is None or iteration < 0:
+            return cycles
+        return self.injector.on_launch(iteration, self.device_index, cycles)
 
     def _launch_overhead(self) -> float:
         overhead = self.spec.launch_overhead_cycles
@@ -137,6 +151,7 @@ class Machine:
                 outer.items += scope.items
             else:
                 cycles = scope.cycles + self._launch_overhead()
+                cycles = self._inject(cycles, iteration)
                 self.counters.record_kernel(name, cycles, scope.items, iteration)
 
     # -- uniform-work helpers ----------------------------------------------
@@ -173,6 +188,14 @@ class Machine:
         return self.launch(name, body_cycles=body,
                            items=n_items if items is None else items,
                            iteration=iteration)
+
+    def stall_ms(self, name: str, ms: float, iteration: int = -1) -> None:
+        """Charge an idle stall (retry backoff, timeout window) in
+        simulated milliseconds; no launch or dispatch overhead applies."""
+        if ms <= 0:
+            return
+        cycles = ms * self.spec.clock_ghz * 1e9 * 1e-3
+        self.counters.record_kernel(name, cycles, 0, iteration)
 
     # -- reporting ----------------------------------------------------------
 

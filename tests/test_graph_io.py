@@ -153,3 +153,74 @@ def test_npz_cli_roundtrip(tmp_path, capsys):
     assert main(["generate", "--generate", "kron:7", "--output", p]) == 0
     assert main(["info", p]) == 0
     assert "vertices" in capsys.readouterr().out
+
+
+# -- error context (GraphIOError names file and line) -------------------------------------
+
+
+def test_graph_io_error_is_value_error():
+    assert issubclass(io.GraphIOError, ValueError)
+
+
+def test_edgelist_error_names_file_and_line(tmp_path):
+    p = tmp_path / "bad.txt"
+    p.write_text("0 1\n2 3\noops\n")
+    with pytest.raises(io.GraphIOError) as err:
+        io.read_edgelist(p)
+    assert str(p) in str(err.value)
+    assert ":3:" in str(err.value)
+    assert err.value.line == 3
+
+
+def test_edgelist_non_numeric_entry(tmp_path):
+    p = tmp_path / "bad.txt"
+    p.write_text("0 one\n")
+    with pytest.raises(io.GraphIOError, match="non-numeric"):
+        io.read_edgelist(p)
+
+
+def test_matrix_market_truncated_file(tmp_path):
+    p = tmp_path / "trunc.mtx"
+    p.write_text("%%MatrixMarket matrix coordinate pattern general\n"
+                 "4 4 3\n1 2\n")
+    with pytest.raises(io.GraphIOError, match="end of file"):
+        io.read_matrix_market(p)
+
+
+def test_matrix_market_bad_size_line(tmp_path):
+    p = tmp_path / "bad.mtx"
+    p.write_text("%%MatrixMarket matrix coordinate pattern general\nx y z\n")
+    with pytest.raises(io.GraphIOError) as err:
+        io.read_matrix_market(p)
+    assert err.value.line == 2
+
+
+def test_dimacs_error_names_line(tmp_path):
+    p = tmp_path / "bad.gr"
+    p.write_text("p sp 3 1\na 1 2 nonsense-weight\n")
+    with pytest.raises(io.GraphIOError) as err:
+        io.read_dimacs(p)
+    assert err.value.line == 2
+
+
+def test_missing_file_raises_graph_io_error(tmp_path):
+    with pytest.raises(io.GraphIOError):
+        io.read_edgelist(tmp_path / "nope.txt")
+
+
+def test_npz_not_a_snapshot(tmp_path):
+    import numpy as _np
+
+    p = tmp_path / "other.npz"
+    _np.savez(p, foo=_np.zeros(3))
+    with pytest.raises(io.GraphIOError, match="snapshot"):
+        io.read_npz(p)
+
+
+def test_cli_exits_2_on_bad_graph(tmp_path, capsys):
+    from repro.cli import main
+
+    p = tmp_path / "bad.mtx"
+    p.write_text("not a matrix\n")
+    assert main(["info", str(p)]) == 2
+    assert "bad.mtx:1" in capsys.readouterr().err

@@ -159,3 +159,38 @@ def test_count_code_lines_ignores_comments_and_docstrings(tmp_path):
                  '    """doc"""\n'
                  "    return 1  # trailing comment\n")
     assert count_code_lines(p) == 2  # def line + return line
+
+
+def test_run_cell_timeout_returns_timed_out_cell():
+    import time as _time
+
+    class _SlowFramework(GunrockFramework):
+        def run(self, primitive, graph, **kw):
+            _time.sleep(5.0)
+            return super().run(primitive, graph, **kw)
+
+    g = generators.kronecker(6, seed=1)
+    cell = run_cell(_SlowFramework(), "bfs", g, "kron", timeout_s=0.1)
+    assert cell.timed_out
+    assert not cell.supported
+    assert cell.wall_ms < 2000
+
+
+def test_run_cell_timeout_disabled_by_default():
+    g = generators.kronecker(6, seed=1)
+    cell = run_cell(GunrockFramework(), "bfs", g, "kron")
+    assert not cell.timed_out
+    assert cell.supported
+
+
+def test_run_cell_timeout_unexpired_keeps_result():
+    g = generators.kronecker(6, seed=1)
+    cell = run_cell(GunrockFramework(), "bfs", g, "kron", timeout_s=30.0)
+    assert not cell.timed_out
+    assert cell.supported
+
+
+def test_run_cell_rejects_bad_timeout():
+    g = generators.kronecker(6, seed=1)
+    with pytest.raises(ValueError):
+        run_cell(GunrockFramework(), "bfs", g, "kron", timeout_s=0.0)

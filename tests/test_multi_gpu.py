@@ -171,3 +171,36 @@ def test_multi_pagerank_comm_volume_bounded_by_boundary(g):
     r = multi_gpu_pagerank(g, k=4, machine=mm, tolerance=1e-8)
     max_per_iter = 4 * g.n * 16.0
     assert mm.comm_bytes <= max_per_iter * r.iterations
+
+
+# -- super-step accounting guard ---------------------------------------------------------
+
+
+def test_begin_step_twice_raises():
+    """Regression: unbalanced begin/end used to silently mis-account the
+    step makespan (the second begin_step overwrote the marks)."""
+    mm = MultiMachine(k=2)
+    mm.begin_step()
+    with pytest.raises(RuntimeError, match="begin_step"):
+        mm.begin_step()
+
+
+def test_end_step_without_begin_raises():
+    mm = MultiMachine(k=2)
+    with pytest.raises(RuntimeError, match="begin_step"):
+        mm.end_step()
+    mm.begin_step()
+    mm.end_step()
+    with pytest.raises(RuntimeError, match="begin_step"):
+        mm.end_step()
+
+
+def test_abort_step_is_safe_and_accrues(g):
+    mm = MultiMachine(k=2)
+    mm.abort_step()  # no-op outside a step
+    mm.begin_step()
+    mm.devices[0].map_kernel("work", 1000, 1.0)
+    mm.abort_step()  # partial work is real elapsed time
+    assert mm.compute_ms() > 0.0
+    mm.begin_step()  # pairing state was cleared
+    mm.end_step()

@@ -288,3 +288,29 @@ def test_bfs_property_vs_dijkstra_unit(data, src):
         frontier = nxt
     for v in range(n):
         assert r.labels[v] == ref.get(v, -1)
+
+
+# -- fault-recovery determinism -----------------------------------------------------------
+
+
+@given(edge_lists(max_n=20, max_m=60), st.integers(0, 19),
+       st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_bfs_recovery_identical_under_random_faults(data, src, fault_seed):
+    """Resilience invariant: any seeded fault schedule leaves BFS results
+    identical to the fault-free run."""
+    from repro.primitives import bfs
+    from repro.resilience import FaultKind, FaultPlan
+    from repro.simt import Machine
+
+    n, edges = data
+    src = src % n
+    g = from_edges(edges, n=n, undirected=True) if edges else from_edges([], n=n)
+    ref = bfs(g, src)
+    plan = FaultPlan.random(
+        fault_seed,
+        [FaultKind.TRANSIENT_KERNEL, FaultKind.CORRUPTION,
+         FaultKind.STRAGGLER],
+        steps=max(1, ref.iterations - 1))
+    r = bfs(g, src, machine=Machine(), checkpoint_every=1, faults=plan)
+    assert np.array_equal(r.labels, ref.labels)

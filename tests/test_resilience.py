@@ -1,0 +1,414 @@
+"""Fault injection, checkpointing, and recovery (repro.resilience).
+
+The load-bearing invariant: any fault schedule with a fixed seed yields
+results *identical* to the fault-free run — faults only cost simulated
+time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, with_random_weights
+from repro.multi import MultiMachine, multi_gpu_bfs, multi_gpu_pagerank, \
+    partition_1d, redistribute
+from repro.primitives import bfs, pagerank, sssp
+from repro.resilience import (CheckpointStore, DataCorruptionFault,
+                              ExchangeTimeout, FaultInjector, FaultKind,
+                              FaultPlan, FaultSpec, RetryPolicy,
+                              TransientKernelFault, parse_kinds)
+from repro.resilience.chaos import format_report, run_chaos
+from repro.simt import Machine
+
+
+@pytest.fixture(scope="module")
+def g():
+    return generators.kronecker(9, seed=3)
+
+
+@pytest.fixture(scope="module")
+def src(g):
+    return int(g.out_degrees.argmax())
+
+
+@pytest.fixture(scope="module")
+def gw(g):
+    return with_random_weights(g, seed=2)
+
+
+# -- fault plans --------------------------------------------------------------
+
+
+def test_fault_plan_seed_determinism():
+    kinds = list(FaultKind)
+    a = FaultPlan.random(7, kinds, steps=10, devices=4, per_kind=2)
+    b = FaultPlan.random(7, kinds, steps=10, devices=4, per_kind=2)
+    assert a.to_bytes() == b.to_bytes()
+    assert FaultPlan.random(8, kinds, steps=10, devices=4,
+                            per_kind=2).to_bytes() != a.to_bytes()
+
+
+def test_fault_plan_caller_order_independent():
+    fwd = FaultPlan.random(1, [FaultKind.CORRUPTION, FaultKind.STRAGGLER],
+                           steps=5)
+    rev = FaultPlan.random(1, [FaultKind.STRAGGLER, FaultKind.CORRUPTION],
+                           steps=5)
+    assert fwd.to_bytes() == rev.to_bytes()
+
+
+def test_parse_kinds():
+    assert parse_kinds("device-loss, straggler") == \
+        [FaultKind.DEVICE_LOSS, FaultKind.STRAGGLER]
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        parse_kinds("bit-rot")
+
+
+def test_injector_consumes_counts():
+    plan = FaultPlan([FaultSpec(FaultKind.EXCHANGE_TIMEOUT, step=3,
+                                site="exchange", count=2)])
+    inj = FaultInjector(plan)
+    kinds = (FaultKind.EXCHANGE_TIMEOUT,)
+    assert inj.poll(site="exchange", step=2, kinds=kinds) is None
+    assert inj.poll(site="exchange", step=3, kinds=kinds) is not None
+    assert inj.poll(site="exchange", step=3, kinds=kinds) is not None
+    assert inj.poll(site="exchange", step=3, kinds=kinds) is None
+    assert inj.injected == 2
+    assert inj.exhausted()
+
+
+def test_injector_site_matching():
+    plan = FaultPlan([FaultSpec(FaultKind.TRANSIENT_KERNEL, step=1,
+                                site="kernel")])
+    inj = FaultInjector(plan)
+    kinds = (FaultKind.TRANSIENT_KERNEL,)
+    assert inj.poll(site="exchange", step=1, kinds=kinds) is None
+    assert inj.poll(site="filter", step=1, kinds=kinds) is not None
+
+
+def test_injector_device_matching():
+    plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, step=1, device=2)])
+    inj = FaultInjector(plan)
+    assert inj.on_launch(1, 0, 100.0) == 100.0
+    with pytest.raises(Exception) as err:
+        inj.on_launch(1, 2, 100.0)
+    assert err.value.device == 2
+
+
+# -- checkpointing ------------------------------------------------------------
+
+
+def test_checkpoint_cow_shares_unchanged_arrays(g):
+    from repro.primitives.bfs import BfsProblem
+
+    problem = BfsProblem(g, Machine())
+    problem.set_source(0)
+    store = CheckpointStore(problem, keep=2)
+    f = np.array([0], dtype=np.int64)
+    first = store.snapshot(0, f, "vertex")
+    problem.labels[1] = 1  # only labels changes
+    second = store.snapshot(1, f, "vertex")
+    assert second.arrays["preds"] is first.arrays["preds"]
+    assert second.arrays["labels"] is not first.arrays["labels"]
+    assert second.nbytes < first.nbytes  # COW: only the delta is copied
+
+
+def test_checkpoint_restore_roundtrip(g):
+    from repro.primitives.bfs import BfsProblem
+
+    problem = BfsProblem(g, Machine())
+    problem.set_source(0)
+    store = CheckpointStore(problem)
+    saved = problem.labels.copy()
+    store.snapshot(0, np.array([0], dtype=np.int64), "vertex")
+    problem.labels[:] = 99
+    ck = store.restore()
+    assert ck.iteration == 0
+    assert np.array_equal(problem.labels, saved)
+    assert store.restores == 1
+
+
+def test_checkpoint_ring_buffer(g):
+    from repro.primitives.bfs import BfsProblem
+
+    problem = BfsProblem(g, Machine())
+    store = CheckpointStore(problem, keep=2)
+    for i in range(5):
+        store.snapshot(i, np.zeros(0, dtype=np.int64), "vertex")
+    assert len(store) == 2
+    assert store.latest().iteration == 4
+
+
+def test_checkpoint_charges_simulated_time(g):
+    from repro.primitives.bfs import BfsProblem
+
+    m = Machine()
+    problem = BfsProblem(g, m)
+    store = CheckpointStore(problem)
+    before = m.elapsed_ms()
+    store.snapshot(0, np.array([0], dtype=np.int64), "vertex")
+    assert m.elapsed_ms() > before  # checkpointing is not free
+
+
+# -- single-GPU recovery ------------------------------------------------------
+
+
+def _bfs_ref(g, src):
+    return bfs(g, src, machine=Machine())
+
+
+def test_bfs_transient_restore_free_replay(g, src):
+    ref = _bfs_ref(g, src)
+    plan = FaultPlan([FaultSpec(FaultKind.TRANSIENT_KERNEL, step=2,
+                                site="advance")])
+    r = bfs(g, src, machine=Machine(), checkpoint_every=2, faults=plan)
+    assert np.array_equal(r.labels, ref.labels)
+    assert r.recovery["faults_injected"] == 1
+    # idempotent BFS + fault before the step's first kernel: no restore
+    assert r.recovery["rollbacks"] == 0
+    assert r.recovery["restores"] == 0
+    assert r.recovery["replayed_supersteps"] == 1
+
+
+def test_bfs_transient_mid_step_rolls_back(g, src):
+    ref = _bfs_ref(g, src)
+    plan = FaultPlan([FaultSpec(FaultKind.TRANSIENT_KERNEL, step=2,
+                                site="filter")])  # advance already mutated
+    r = bfs(g, src, machine=Machine(), checkpoint_every=2, faults=plan)
+    assert np.array_equal(r.labels, ref.labels)
+    assert r.recovery["rollbacks"] == 1
+    assert r.recovery["restores"] == 1
+
+
+def test_bfs_non_idempotent_transient_rolls_back(g, src):
+    ref = bfs(g, src, machine=Machine(), idempotent=False)
+    plan = FaultPlan([FaultSpec(FaultKind.TRANSIENT_KERNEL, step=2,
+                                site="advance")])
+    r = bfs(g, src, machine=Machine(), idempotent=False,
+            checkpoint_every=1, faults=plan)
+    assert np.array_equal(r.labels, ref.labels)
+    assert r.recovery["rollbacks"] == 1
+
+
+def test_bfs_corruption_rolls_back_to_clean_state(g, src):
+    ref = _bfs_ref(g, src)
+    plan = FaultPlan([FaultSpec(FaultKind.CORRUPTION, step=3)], seed=11)
+    r = bfs(g, src, machine=Machine(), checkpoint_every=2, faults=plan)
+    assert np.array_equal(r.labels, ref.labels)
+    assert np.array_equal(r.preds, ref.preds)
+    assert r.recovery["injected_by_kind"] == {"corruption": 1}
+    assert r.recovery["rollbacks"] == 1
+
+
+def test_bfs_straggler_costs_time_only(g, src):
+    ref = _bfs_ref(g, src)
+    plan = FaultPlan([FaultSpec(FaultKind.STRAGGLER, step=1,
+                                magnitude=10.0)])
+    r = bfs(g, src, machine=Machine(), faults=plan)
+    assert np.array_equal(r.labels, ref.labels)
+    assert r.elapsed_ms > ref.elapsed_ms
+    assert r.recovery["faults_injected"] == 1
+
+
+def test_bfs_checkpoint_costs_time(g, src):
+    ref = _bfs_ref(g, src)
+    r = bfs(g, src, machine=Machine(), checkpoint_every=1)
+    assert np.array_equal(r.labels, ref.labels)
+    assert r.elapsed_ms > ref.elapsed_ms
+    assert r.recovery["checkpoints_taken"] >= ref.iterations
+
+
+def test_sssp_rollback_restores_priority_queue(gw, src):
+    ref = sssp(gw, src, machine=Machine())
+    plan = FaultPlan([FaultSpec(FaultKind.TRANSIENT_KERNEL, step=2,
+                                site="advance"),
+                      FaultSpec(FaultKind.CORRUPTION, step=4)], seed=5)
+    r = sssp(gw, src, machine=Machine(), checkpoint_every=2, faults=plan)
+    assert np.array_equal(r.labels, ref.labels)
+    assert np.array_equal(r.preds, ref.preds)
+    assert r.recovery["rollbacks"] == 2
+    assert r.recovery["faults_injected"] == 2
+
+
+def test_pagerank_corruption_recovers(g):
+    ref = pagerank(g, machine=Machine())
+    plan = FaultPlan([FaultSpec(FaultKind.CORRUPTION, step=5)], seed=9)
+    r = pagerank(g, machine=Machine(), checkpoint_every=3, faults=plan)
+    assert np.array_equal(r.rank, ref.rank)
+    assert r.recovery["rollbacks"] == 1
+
+
+def test_retry_exhaustion_reraises(gw, src):
+    plan = FaultPlan([FaultSpec(FaultKind.TRANSIENT_KERNEL, step=1,
+                                site="advance", count=10)])
+    with pytest.raises(TransientKernelFault):
+        sssp(gw, src, machine=Machine(), checkpoint_every=1, faults=plan,
+             retry=RetryPolicy(max_retries=2))
+
+
+def test_fault_without_checkpoint_is_fatal(g, src):
+    plan = FaultPlan([FaultSpec(FaultKind.CORRUPTION, step=2)])
+    with pytest.raises(DataCorruptionFault):
+        bfs(g, src, machine=Machine(), faults=plan)  # no checkpoint_every
+
+
+def test_recovery_is_none_without_resilience(g, src):
+    assert _bfs_ref(g, src).recovery is None
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    p = RetryPolicy(base_ms=2.0, multiplier=3.0)
+    assert p.backoff_ms(0) == 2.0
+    assert p.backoff_ms(2) == 18.0
+
+
+# -- multi-GPU recovery -------------------------------------------------------
+
+
+def test_multi_bfs_device_loss_degrades_gracefully(g, src):
+    ref = multi_gpu_bfs(g, src, k=4)
+    plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, step=2, device=1)])
+    r = multi_gpu_bfs(g, src, k=4, faults=plan)
+    assert np.array_equal(r.labels, ref.labels)
+    assert r.recovery["devices_failed"] == [1]
+    assert r.recovery["reshard_bytes"] > 0
+    assert r.recovery["replayed_supersteps"] == 1
+    # note: total elapsed may DROP after a loss (a 3-device all-to-all
+    # sends fewer messages than 4), so only the re-shard cost is pinned
+    assert r.recovery["reshard_ms"] > 0
+
+
+def test_multi_bfs_survives_two_losses(g, src):
+    ref = multi_gpu_bfs(g, src, k=4)
+    plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, step=2, device=1),
+                      FaultSpec(FaultKind.DEVICE_LOSS, step=3, device=3)])
+    r = multi_gpu_bfs(g, src, k=4, faults=plan)
+    assert np.array_equal(r.labels, ref.labels)
+    assert r.recovery["devices_failed"] == [1, 3]
+
+
+def test_multi_bfs_exchange_timeout_retries(g, src):
+    ref = multi_gpu_bfs(g, src, k=4)
+    plan = FaultPlan([FaultSpec(FaultKind.EXCHANGE_TIMEOUT, step=2,
+                                site="exchange", count=2)])
+    r = multi_gpu_bfs(g, src, k=4, faults=plan)
+    assert np.array_equal(r.labels, ref.labels)
+    assert r.recovery["retry_attempts"] == 2
+    assert r.recovery["backoff_ms"] > 0
+    assert r.elapsed_ms > ref.elapsed_ms
+
+
+def test_multi_bfs_exchange_exhaustion_raises(g, src):
+    plan = FaultPlan([FaultSpec(FaultKind.EXCHANGE_TIMEOUT, step=1,
+                                site="exchange", count=99)])
+    with pytest.raises(ExchangeTimeout):
+        multi_gpu_bfs(g, src, k=4, faults=plan,
+                      retry=RetryPolicy(max_retries=2))
+
+
+def test_multi_pagerank_device_loss_bitwise_identical(g):
+    ref = multi_gpu_pagerank(g, k=4)
+    plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, step=3, device=2)])
+    r = multi_gpu_pagerank(g, k=4, faults=plan)
+    assert np.array_equal(r.rank, ref.rank)
+    assert r.recovery["devices_failed"] == [2]
+
+
+def test_multi_pagerank_rank_partition_independent(g):
+    # the canonical-order commit makes ranks bitwise equal across k,
+    # which is what makes post-redistribution replay exact
+    assert np.array_equal(multi_gpu_pagerank(g, k=2).rank,
+                          multi_gpu_pagerank(g, k=4).rank)
+
+
+def test_redistribute_reassigns_only_dead_vertices(g):
+    pg = partition_1d(g, 4)
+    pg2 = redistribute(pg, 1, [0, 2, 3])
+    moved = pg.owner != pg2.owner
+    assert np.all(pg.owner[moved] == 1)
+    assert pg2.parts[1].n_local == 0
+    assert not np.any(pg2.owner == 1)
+    assert sum(p.n_local for p in pg2.parts) == g.n
+    assert sum(p.m_local for p in pg2.parts) == g.m
+
+
+def test_redistribute_rejects_bad_args(g):
+    pg = partition_1d(g, 2)
+    with pytest.raises(ValueError):
+        redistribute(pg, 0, [])
+    with pytest.raises(ValueError):
+        redistribute(pg, 0, [0, 1])
+
+
+def test_last_device_loss_is_fatal(g, src):
+    plan = FaultPlan([FaultSpec(FaultKind.DEVICE_LOSS, step=1, device=0),
+                      FaultSpec(FaultKind.DEVICE_LOSS, step=1, device=1)])
+    from repro.resilience import DeviceLost
+
+    with pytest.raises(DeviceLost):
+        multi_gpu_bfs(g, src, k=2, faults=plan)
+
+
+# -- chaos harness ------------------------------------------------------------
+
+
+def test_chaos_all_kinds_pass(g):
+    report = run_chaos(g, "bfs", list(FaultKind), seed=0)
+    assert report.ok
+    names = [p.name for p in report.phases]
+    assert names == ["single-gpu", "multi-gpu"]
+    for p in report.phases:
+        assert p.identical
+        assert p.recovery["faults_injected"] > 0
+
+
+def test_chaos_sssp_skips_multi_phase(g):
+    report = run_chaos(g, "sssp", list(FaultKind), seed=1)
+    assert report.ok
+    multi = [p for p in report.phases if p.name == "multi-gpu"]
+    assert multi and multi[0].skipped
+
+
+def test_chaos_report_format(g):
+    report = run_chaos(g, "bfs", [FaultKind.STRAGGLER], seed=0)
+    text = format_report(report)
+    assert "chaos: PASS" in text
+    assert "straggler" in text
+
+
+def test_chaos_rejects_unknown_primitive(g):
+    with pytest.raises(ValueError, match="does not drive"):
+        run_chaos(g, "bc", [FaultKind.STRAGGLER])
+
+
+def test_chaos_cli_smoke(capsys):
+    from repro.cli import main
+
+    rc = main(["chaos", "--primitive", "bfs", "--generate", "kron:8",
+               "--faults", "device-loss,exchange-timeout", "--seed", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "chaos: PASS" in out
+
+
+def test_chaos_under_sanitizer(g, src):
+    # recovery restores happen outside kernel scopes, so the race
+    # detector must stay silent through a rollback
+    from repro.analysis import sanitize
+
+    plan = FaultPlan([FaultSpec(FaultKind.CORRUPTION, step=3)], seed=7)
+    with sanitize(strict=True):
+        r = bfs(g, src, machine=Machine(), checkpoint_every=2, faults=plan)
+    assert r.recovery["rollbacks"] == 1
+
+
+# -- determinism of the whole stack ------------------------------------------
+
+
+def test_chaos_runs_are_reproducible(g):
+    a = run_chaos(g, "bfs", list(FaultKind), seed=4)
+    b = run_chaos(g, "bfs", list(FaultKind), seed=4)
+    for pa, pb in zip(a.phases, b.phases):
+        assert pa.plan.to_bytes() == pb.plan.to_bytes()
+        assert pa.faulty_ms == pb.faulty_ms
+        assert pa.recovery == pb.recovery
