@@ -1,0 +1,99 @@
+"""Serving-layer baseline: throughput, tail latency, and cache behavior.
+
+Replays three canonical serving scenarios on a kron graph and writes the
+numbers to ``benchmarks/BENCH_serve.json`` — a pinned baseline for the
+query-serving layer, the way ``BENCH_*.json`` files pin the analytics
+numbers.  Everything runs in simulated time from fixed seeds, so the
+emitted file is byte-stable across machines.
+
+Scenarios:
+
+* **steady** — open-loop traffic at a sustainable rate (the headline
+  throughput/latency/hit-rate numbers);
+* **burst** — open-loop at far beyond device capacity with a small
+  admission queue (pins the shed/degradation behavior);
+* **batched vs solo** — the same multi-source BFS workload executed as
+  one batched run and as per-source runs (pins the launch-amortization
+  win that motivates the batching layer).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.graph import generators
+from repro.primitives import bfs
+from repro.serve import WorkloadSpec, batched_bfs, run_serving
+from repro.simt import Machine
+
+OUT_PATH = Path(__file__).parent / "BENCH_serve.json"
+
+GRAPH_SCALE = 10
+GRAPH_SEED = 3
+SOURCES = [0, 5, 17, 100, 256, 511, 700, 901]
+
+
+def _graph():
+    return generators.kronecker(GRAPH_SCALE, seed=GRAPH_SEED)
+
+
+def _report_fields(report) -> dict:
+    d = report.as_dict()
+    return {k: d[k] for k in (
+        "requests", "served", "cache_hits", "shed", "deadline_drops",
+        "throughput_rps", "p50_ms", "p99_ms", "hit_rate", "stale_hits",
+        "executed_batches", "batch_histogram")}
+
+
+def _batched_vs_solo(graph) -> dict:
+    m_batch = Machine()
+    batched_bfs(graph, SOURCES, machine=m_batch)
+    solo_ms = 0.0
+    solo_launches = 0
+    for s in SOURCES:
+        m = Machine()
+        bfs(graph, s, idempotent=False, direction="push", machine=m)
+        solo_ms += m.elapsed_ms()
+        solo_launches += m.counters.kernel_launches
+    return {
+        "sources": len(SOURCES),
+        "batched_ms": round(m_batch.elapsed_ms(), 6),
+        "solo_ms": round(solo_ms, 6),
+        "batched_kernel_launches": m_batch.counters.kernel_launches,
+        "solo_kernel_launches": solo_launches,
+        "speedup": round(solo_ms / m_batch.elapsed_ms(), 6),
+    }
+
+
+def build_baseline() -> dict:
+    g = _graph()
+    steady = run_serving(g, WorkloadSpec(requests=300, seed=7), devices=2)
+    burst = run_serving(
+        g, WorkloadSpec(requests=300, seed=7, arrival_rate_rps=50000.0),
+        devices=1, max_queue=8)
+    return {
+        "graph": {"generator": f"kron:{GRAPH_SCALE}", "seed": GRAPH_SEED,
+                  "n": int(g.n), "m": int(g.m)},
+        "steady": _report_fields(steady),
+        "burst": _report_fields(burst),
+        "batched_vs_solo": _batched_vs_solo(g),
+    }
+
+
+def test_emit_baseline():
+    baseline = build_baseline()
+    OUT_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    assert baseline["steady"]["hit_rate"] > 0
+    assert baseline["steady"]["stale_hits"] == 0
+    assert baseline["burst"]["shed"] > 0
+    assert baseline["batched_vs_solo"]["speedup"] > 1.0
+
+
+def test_baseline_is_deterministic():
+    assert build_baseline() == build_baseline()
+
+
+if __name__ == "__main__":
+    print(json.dumps(build_baseline(), indent=2, sort_keys=True))

@@ -9,6 +9,8 @@ Mirrors the original Gunrock's test drivers (``bfs market graph.mtx``):
 * ``datasets``  — list the built-in dataset twins
 * ``lint``      — static BSP-contract linter over functor/problem sources
 * ``chaos``     — inject faults into a primitive and verify recovery
+* ``serve``     — replay a query-serving workload (batching + cache +
+  deadline scheduling), report throughput/latency/hit-rate
 
 ``run`` and ``compare`` accept ``--sanitize`` to execute every fused
 kernel under the dynamic race detector (see ``repro.analysis``).
@@ -220,7 +222,29 @@ def _run_primitive(name: str, g: Csr, src: int, machine: Machine):
     raise SystemExit(f"unknown primitive {name!r}")
 
 
+def _result_arrays(result) -> dict:
+    """Checksummed summary of every ndarray on a primitive's result."""
+    import zlib
+
+    named = getattr(result, "arrays", None)
+    if not isinstance(named, dict):
+        named = {k: v for k, v in vars(result).items()
+                 if isinstance(v, np.ndarray)}
+    out = {}
+    for name in sorted(named):
+        value = named[name]
+        if isinstance(value, np.ndarray):
+            out[name] = {
+                "dtype": str(value.dtype),
+                "shape": list(value.shape),
+                "crc32": zlib.crc32(np.ascontiguousarray(value).tobytes()),
+            }
+    return out
+
+
 def cmd_run(args) -> int:
+    import json
+
     from .analysis import RaceError, sanitize
     from contextlib import nullcontext
 
@@ -236,14 +260,61 @@ def cmd_run(args) -> int:
             print(report.format(), file=sys.stderr)
         print(f"sanitize: {len(err.reports)} race report(s)", file=sys.stderr)
         return 1
+    c = machine.counters
+    if getattr(args, "json", False):
+        elapsed = machine.elapsed_ms()
+        payload = {
+            "primitive": args.primitive,
+            "graph": {"n": int(g.n), "m": int(g.m)},
+            "src": int(src),
+            "summary": summary,
+            "elapsed_ms": round(elapsed, 6),
+            "iterations": int(getattr(result, "iterations", 0)),
+            "mteps": round(c.edges_visited / (elapsed * 1e3), 6)
+            if elapsed > 0 else 0.0,
+            "counters": c.as_dict(),
+            "arrays": _result_arrays(result),
+        }
+        if args.sanitize:
+            payload["sanitize"] = "clean"
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"{args.primitive} on {g}: {summary}")
     if args.sanitize:
         print("sanitize: no races detected")
-    c = machine.counters
     print(f"simulated {machine.elapsed_ms():.3f} ms | "
           f"{c.kernel_launches} kernels | {c.edges_visited:,} edges | "
           f"{c.atomics_issued:,} atomics | "
           f"{getattr(result, 'iterations', 0)} iterations")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from .resilience import RetryPolicy
+    from .serve import WorkloadSpec, run_serving
+
+    if not (args.dataset or args.generate or args.graph):
+        args.generate = "kron:10"  # a default topology for smoke runs
+    g = load_graph(args)
+    spec = WorkloadSpec(
+        requests=args.requests, seed=args.seed, mode=args.mode,
+        arrival_rate_rps=args.rate, clients=args.clients,
+        think_ms=args.think_ms, zipf_s=args.zipf,
+        deadline_scale=args.deadline_scale,
+        updates=args.updates, update_interval_ms=args.update_interval)
+    report = run_serving(
+        g, spec, devices=args.devices, max_queue=args.max_queue,
+        batch_window_ms=args.window, max_lanes=args.max_lanes,
+        cache_bytes=args.cache_mb << 20,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        fault_rate=args.fault_rate)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"serving {args.requests} requests ({spec.mode} loop) on {g}")
+        print(report.format())
     return 0
 
 
@@ -307,7 +378,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--src", type=int, default=None)
     p.add_argument("--sanitize", action="store_true",
                    help="run under the dynamic race detector")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output: counters, timings, and "
+                        "crc32 checksums of every result array")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "serve", help="replay a query-serving workload and report latency")
+    _add_graph_options(p)
+    p.add_argument("--requests", type=int, default=300,
+                   help="number of requests in the workload")
+    p.add_argument("--mode", choices=("open", "closed"), default="open",
+                   help="arrival discipline (Poisson vs fixed clients)")
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="open-loop arrival rate in requests/s (simulated)")
+    p.add_argument("--clients", type=int, default=8,
+                   help="closed-loop client population")
+    p.add_argument("--think-ms", type=float, default=0.5,
+                   help="closed-loop think time between requests")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="Zipf exponent for source popularity")
+    p.add_argument("--devices", type=int, default=1,
+                   help="simulated serving devices")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission queue bound (overflow is shed)")
+    p.add_argument("--window", type=float, default=2.0,
+                   help="batching window in simulated ms")
+    p.add_argument("--max-lanes", type=int, default=8,
+                   help="max lanes per batched execution")
+    p.add_argument("--cache-mb", type=int, default=64,
+                   help="result cache budget in MiB")
+    p.add_argument("--deadline-scale", type=float, default=1.0,
+                   help="multiply every per-primitive deadline")
+    p.add_argument("--updates", type=int, default=0,
+                   help="graph-version bumps interleaved with traffic")
+    p.add_argument("--update-interval", type=float, default=50.0,
+                   help="simulated ms between graph updates")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="per-dispatch transient fault probability")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="retry budget for transient serving faults")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("compare", help="run one primitive on every framework")
     p.add_argument("primitive", choices=("bfs", "sssp", "bc", "pagerank", "cc"))

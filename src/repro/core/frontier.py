@@ -47,6 +47,12 @@ class Frontier:
         return cls(np.array([v], dtype=np.int64), FrontierKind.VERTEX)
 
     @classmethod
+    def from_vertices(cls, vertices) -> "Frontier":
+        """Vertex frontier from an id sequence (multi-source traversal —
+        one lane-offset source per batched request)."""
+        return cls(np.asarray(vertices, dtype=np.int64), FrontierKind.VERTEX)
+
+    @classmethod
     def all_vertices(cls, n: int) -> "Frontier":
         """Every vertex (PageRank's initial frontier)."""
         return cls(np.arange(n, dtype=np.int64), FrontierKind.VERTEX)

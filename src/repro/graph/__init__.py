@@ -2,13 +2,13 @@
 
 from .coo import Coo, csr_to_coo
 from .csr import Csr
-from .build import (from_edges, from_networkx, to_networkx, from_scipy,
-                    to_scipy, with_random_weights)
+from .build import (block_diagonal, from_edges, from_networkx, to_networkx,
+                    from_scipy, to_scipy, with_random_weights)
 from . import datasets, generators, io, properties
 
 __all__ = [
     "Csr", "Coo", "csr_to_coo",
-    "from_edges", "from_networkx", "to_networkx", "from_scipy", "to_scipy",
-    "with_random_weights",
+    "block_diagonal", "from_edges", "from_networkx", "to_networkx",
+    "from_scipy", "to_scipy", "with_random_weights",
     "datasets", "generators", "io", "properties",
 ]

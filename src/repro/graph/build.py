@@ -88,6 +88,29 @@ def to_scipy(g: Csr):
     return sp.csr_matrix((g.weight_or_ones(), g.indices, g.indptr), shape=(g.n, g.n))
 
 
+def block_diagonal(g: Csr, copies: int) -> Csr:
+    """``copies`` disjoint replicas of ``g`` in one CSR (lane-major ids).
+
+    Vertex ``v`` of replica ``c`` becomes ``c * g.n + v``; edge ``e``
+    becomes ``c * g.m + e``.  This is the topology behind batched
+    multi-source traversal (:mod:`repro.serve.batcher`): one merged
+    frontier walks all replicas through a single advance/filter sequence,
+    so per-launch overhead is paid once per super-step instead of once
+    per source, while the replicas' state lanes stay disjoint.
+    """
+    if copies < 1:
+        raise ValueError("block_diagonal needs at least one copy")
+    if copies == 1:
+        return g
+    indptr = np.concatenate(
+        [[0], np.tile(np.diff(g.indptr), copies).cumsum()])
+    lane_offsets = np.repeat(
+        np.arange(copies, dtype=np.int64) * g.n, g.m)
+    indices = np.tile(g.indices.astype(np.int64), copies) + lane_offsets
+    values = None if g.edge_values is None else np.tile(g.edge_values, copies)
+    return Csr(indptr, indices, values, n=copies * g.n, validate=False)
+
+
 def with_random_weights(g: Csr, low: int = 1, high: int = 64,
                         seed: int = 0, symmetric: bool = True) -> Csr:
     """Attach uniform random integer weights in ``[low, high]``.

@@ -11,17 +11,25 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 from ..graph.csr import Csr
 from ..graph.build import with_random_weights
-from ..primitives import bc, bfs, cc, pagerank, sssp
+from ..primitives import (bc, bfs, cc, circle_of_trust, induced_bipartite,
+                          pagerank, ppr, salsa, sssp, who_to_follow)
 
-#: the paper's Figure 5 operator sequences (per loop iteration)
+#: the paper's Figure 5 operator sequences (per loop iteration); ppr,
+#: salsa, and wtf extend the figure with the Section 5.5 who-to-follow
+#: pipeline's stages
 PAPER_FLOWS: Dict[str, List[str]] = {
     "bfs": ["advance", "filter"],
     "sssp": ["advance", "filter", "priority_queue"],
     "bc": ["advance", "filter", "advance(backward)"],
     "pagerank": ["advance", "filter"],
     "cc": ["filter(hook)", "filter(jump)"],
+    "ppr": ["advance", "filter"],
+    "salsa": ["advance", "advance(backward)"],
+    "wtf": ["advance", "advance(backward)"],
 }
 
 
@@ -31,6 +39,14 @@ def _dedupe_consecutive(ops: List[str]) -> List[str]:
         if not out or out[-1] != op:
             out.append(op)
     return out
+
+
+def _walking_user(graph: Csr, src: int) -> int:
+    """A vertex whose 2-hop neighborhood is non-empty: ``src`` when it
+    has followees, otherwise the highest-out-degree vertex."""
+    if graph.out_degrees[src] > 0:
+        return src
+    return int(graph.out_degrees.argmax())
 
 
 def operator_flow(primitive: str, graph: Csr, src: int = 0) -> List[str]:
@@ -46,8 +62,28 @@ def operator_flow(primitive: str, graph: Csr, src: int = 0) -> List[str]:
         stats = pagerank(graph, max_iterations=4).enactor_stats
     elif primitive == "cc":
         stats = cc(graph).enactor_stats
+    elif primitive == "ppr":
+        stats = ppr(graph, src).enactor_stats
+    elif primitive == "salsa":
+        user = _walking_user(graph, src)
+        circle = circle_of_trust(graph, user)
+        if len(circle) == 0:
+            raise ValueError(
+                f"graph has no 2-hop neighborhood around vertex {user}; "
+                "salsa needs a non-empty bipartite projection")
+        hubs = np.concatenate([[user], circle]).astype(np.int64)
+        stats = salsa(induced_bipartite(graph, hubs)).enactor_stats
+    elif primitive == "wtf":
+        result = who_to_follow(graph, _walking_user(graph, src))
+        stats = result.salsa_stats
+        if stats is None:
+            raise ValueError(
+                "who-to-follow hit its cold-start path (empty circle of "
+                "trust); no SALSA stage was executed to trace")
     else:
-        raise ValueError(f"unknown primitive {primitive!r}")
+        raise ValueError(
+            f"unknown primitive {primitive!r}; traceable primitives: "
+            + ", ".join(sorted(PAPER_FLOWS)))
     ops = stats.op_sequence(0)
     return _dedupe_consecutive(ops)
 

@@ -76,8 +76,13 @@ class SalsaEnactor(EnactorBase):
         P.hub.fill(0.0)
         from ..core.operators.advance import advance as _adv
 
-        _adv(_ReverseView(P), Frontier(bp.right_vertices()), _WalkLeftFunctor(),
-             iteration=self.iteration)
+        # the walk-left advance runs on the reversed view, so it bypasses
+        # the traced wrapper; record it by hand with the bc-style label
+        self._pre_kernel("advance")
+        right = Frontier(bp.right_vertices())
+        out = _adv(_ReverseView(P), right, _WalkLeftFunctor(),
+                   iteration=self.iteration)
+        self._trace("advance(backward)", right, out)
         self.converged = bool(np.abs(P.hub - prev).max() < self.tolerance)
         return frontier
 

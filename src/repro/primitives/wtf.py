@@ -35,6 +35,8 @@ class WtfResult:
     circle: np.ndarray
     similar_users: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
     elapsed_ms: Optional[float] = None
+    #: enactor stats of the SALSA ranking stage (None on cold start)
+    salsa_stats: Optional[object] = None
 
 
 def who_to_follow(graph: Csr, user: int, *, k: int = 10,
@@ -78,7 +80,8 @@ def who_to_follow(graph: Csr, user: int, *, k: int = 10,
 
     return WtfResult(user, np.asarray(recs, dtype=np.int64), circle,
                      similar_users=similar.astype(np.int64),
-                     elapsed_ms=machine.elapsed_ms() if machine else None)
+                     elapsed_ms=machine.elapsed_ms() if machine else None,
+                     salsa_stats=result.enactor_stats)
 
 
 def _right_original_ids(graph: Csr, hubs: np.ndarray) -> np.ndarray:

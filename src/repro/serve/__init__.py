@@ -1,0 +1,79 @@
+"""Graph-query serving layer: batching, caching, deadline scheduling.
+
+The paper's flagship application — Twitter's who-to-follow (Section 5.5)
+— is an *online serving* workload, and the Gunrock follow-up (TOPC 2017)
+names batched multi-query execution as the direction that takes a GPU
+graph library from one-shot analytics to a service.  This package is that
+layer for the reproduction:
+
+* :mod:`repro.serve.service` — versioned graphs, requests, completions;
+* :mod:`repro.serve.batcher` — request coalescing, headlined by true
+  batched multi-source BFS/SSSP/PPR (one merged lane-major frontier
+  through the existing advance/filter operators, bitwise-equal to
+  per-source runs);
+* :mod:`repro.serve.cache` — byte-budgeted LRU result cache keyed on
+  graph version (stale results are unreachable by construction);
+* :mod:`repro.serve.scheduler` — bounded-queue admission (typed
+  :class:`~repro.serve.scheduler.Overloaded` shedding), EDF dispatch over
+  simulated devices, transient-fault retry via
+  :class:`~repro.resilience.recovery.RetryPolicy`;
+* :mod:`repro.serve.workload` — seed-deterministic open/closed-loop
+  traffic with Zipfian source popularity.
+
+``python -m repro serve`` replays a workload and prints the service
+report; with a fixed seed the report is byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graph.csr import Csr
+from ..resilience.recovery import RetryPolicy
+from .batcher import (Batch, BatchedQuery, DEFAULT_MAX_LANES, LaneResult,
+                      SERVED_PRIMITIVES, batched_bfs, batched_ppr,
+                      batched_sssp, execute_batch, plan_batches, query_key)
+from .cache import CacheStats, ResultCache
+from .scheduler import DeadlineScheduler, Device, Overloaded
+from .service import (Completion, GraphService, Request, ServeReport,
+                      VersionedGraph)
+from .workload import (ClosedLoopDriver, Workload, WorkloadSpec,
+                       build_workload, zipf_popularity)
+
+__all__ = [
+    "Batch", "BatchedQuery", "DEFAULT_MAX_LANES", "LaneResult",
+    "SERVED_PRIMITIVES", "batched_bfs", "batched_ppr", "batched_sssp",
+    "execute_batch", "plan_batches", "query_key",
+    "CacheStats", "ResultCache",
+    "DeadlineScheduler", "Device", "Overloaded",
+    "Completion", "GraphService", "Request", "ServeReport", "VersionedGraph",
+    "ClosedLoopDriver", "Workload", "WorkloadSpec", "build_workload",
+    "zipf_popularity",
+    "run_serving",
+]
+
+
+def run_serving(graph: Csr, spec: WorkloadSpec, *, devices: int = 1,
+                max_queue: int = 64, batch_window_ms: float = 2.0,
+                max_lanes: int = DEFAULT_MAX_LANES,
+                cache_bytes: int = 64 << 20,
+                retry: Optional[RetryPolicy] = None,
+                fault_rate: float = 0.0) -> ServeReport:
+    """Build a service, replay ``spec``'s workload on ``graph``, report.
+
+    One call = one deterministic serving experiment: the report is a
+    pure function of the graph and the spec (plus these knobs).
+    """
+    service = GraphService(cache_bytes=cache_bytes)
+    service.load_graph(graph)
+    scheduler = DeadlineScheduler(
+        service, devices=devices, max_queue=max_queue,
+        batch_window_ms=batch_window_ms, max_lanes=max_lanes,
+        retry=retry, fault_rate=fault_rate, seed=spec.seed)
+    workload = build_workload(graph, spec)
+    completions = scheduler.replay(workload.initial_requests,
+                                   updates=workload.updates,
+                                   on_complete=workload.driver)
+    return ServeReport.from_replay(completions, service,
+                                   recovered_faults=scheduler.recovered_faults,
+                                   retry_backoff_ms=scheduler.retry_backoff_ms)

@@ -1,0 +1,296 @@
+"""Request batching: many queries, one operator sequence.
+
+The serving layer's throughput lever (GraphBLAST's observation, and the
+TOPC 2017 Gunrock follow-up's "batched multi-query" direction): queued
+requests for the *same* primitive coalesce into one execution, so the
+per-launch overhead of every advance/filter super-step is paid once per
+batch instead of once per request.
+
+Three batching strategies, chosen per primitive:
+
+* **laned** (bfs, sssp, ppr) — true batched multi-source execution.  The
+  graph is replicated block-diagonally (:func:`repro.graph.build.
+  block_diagonal`): source ``s`` of request ``i`` starts at composite
+  vertex ``i * n + s``, and one merged frontier carries every request's
+  wavefront through the *existing* advance/filter operators.  Because the
+  replicas' cells are disjoint and frontier order is lane-major, each
+  lane's state evolves bitwise identically to a per-source run with the
+  same operator configuration (pinned by ``tests/test_serve_batcher.py``).
+* **coalesced** (pagerank) — requests with identical parameters share one
+  execution; the result fans out to every requester.
+* **solo** (wtf) — the who-to-follow pipeline runs per request (its
+  circle-of-trust/bipartite stages are per-user), batch size 1.
+
+Duplicate queries inside one batch occupy a single lane; the batch maps
+every request id onto its lane's result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import Frontier
+from ..core.direction import FixedDirection
+from ..graph.build import block_diagonal
+from ..graph.csr import Csr
+from ..primitives.bfs import BfsEnactor, BfsProblem
+from ..primitives.pagerank import pagerank
+from ..primitives.ppr import PprEnactor, PprProblem
+from ..primitives.sssp import SsspEnactor, SsspProblem
+from ..primitives.wtf import who_to_follow
+from ..simt.machine import Machine
+
+#: primitives the serving layer accepts, by batching strategy
+LANED_PRIMITIVES = ("bfs", "sssp", "ppr")
+COALESCED_PRIMITIVES = ("pagerank",)
+SOLO_PRIMITIVES = ("wtf",)
+SERVED_PRIMITIVES = LANED_PRIMITIVES + COALESCED_PRIMITIVES + SOLO_PRIMITIVES
+
+#: default cap on merged-frontier lanes per batched execution
+DEFAULT_MAX_LANES = 32
+
+
+def query_key(primitive: str, params: Dict) -> Tuple:
+    """Canonical hashable identity of a query (cache + dedup key)."""
+    return (primitive,) + tuple(sorted(params.items()))
+
+
+@dataclass
+class BatchedQuery:
+    """One lane of a batch: a unique query plus the requests wanting it."""
+
+    primitive: str
+    params: Dict
+    request_ids: List[int] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple:
+        return query_key(self.primitive, self.params)
+
+
+@dataclass
+class Batch:
+    """A set of unique same-primitive queries executed together."""
+
+    primitive: str
+    queries: List[BatchedQuery]
+
+    @property
+    def lanes(self) -> int:
+        return len(self.queries)
+
+    @property
+    def request_count(self) -> int:
+        return sum(len(q.request_ids) for q in self.queries)
+
+
+def plan_batches(primitive: str, pending: Sequence[Tuple[int, Dict]],
+                 max_lanes: int = DEFAULT_MAX_LANES) -> List[Batch]:
+    """Group pending ``(request_id, params)`` pairs into batches.
+
+    Identical queries fold into one lane; distinct queries fill lanes up
+    to ``max_lanes`` per batch (1 for solo primitives, unbounded sharing
+    for coalesced ones since they run once regardless).
+    """
+    if primitive in SOLO_PRIMITIVES:
+        lane_cap = 1
+    elif primitive in COALESCED_PRIMITIVES:
+        lane_cap = max(1, max_lanes)
+    elif primitive in LANED_PRIMITIVES:
+        lane_cap = max(1, max_lanes)
+    else:
+        raise ValueError(
+            f"unknown primitive {primitive!r}; served primitives: "
+            + ", ".join(SERVED_PRIMITIVES))
+    by_key: Dict[Tuple, BatchedQuery] = {}
+    order: List[Tuple] = []
+    for rid, params in pending:
+        key = query_key(primitive, params)
+        q = by_key.get(key)
+        if q is None:
+            q = by_key[key] = BatchedQuery(primitive, dict(params))
+            order.append(key)
+        q.request_ids.append(rid)
+    batches: List[Batch] = []
+    for start in range(0, len(order), lane_cap):
+        chunk = [by_key[k] for k in order[start:start + lane_cap]]
+        batches.append(Batch(primitive, chunk))
+    return batches
+
+
+# -- laned multi-source executions -------------------------------------------
+
+
+@dataclass
+class LaneResult:
+    """Per-request payload extracted from one lane of a batched run."""
+
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays.values())
+
+
+def _composite_sources(n: int, sources: Sequence[int]) -> np.ndarray:
+    lanes = len(sources)
+    srcs = np.asarray(sources, dtype=np.int64)
+    if len(srcs) and (srcs.min() < 0 or srcs.max() >= n):
+        raise ValueError("batched source out of range")
+    return np.arange(lanes, dtype=np.int64) * n + srcs
+
+
+def _split_lane_array(flat: np.ndarray, lanes: int, n: int,
+                      ids: bool = False) -> List[np.ndarray]:
+    """Slice a laned array back into per-request rows; ``ids=True`` maps
+    composite vertex ids back to base-graph ids (negatives preserved)."""
+    rows = flat.reshape(lanes, n)
+    out = []
+    for lane in range(lanes):
+        row = rows[lane].copy()
+        if ids:
+            row = np.where(row >= 0, row - lane * n, row)
+        out.append(row)
+    return out
+
+
+def batched_bfs(graph: Csr, sources: Sequence[int], *,
+                machine: Optional[Machine] = None,
+                record_preds: bool = True) -> List[LaneResult]:
+    """Multi-source BFS: one merged frontier, one advance+filter per level.
+
+    Uses the non-idempotent (CAS-claim) configuration with push traversal
+    so that each lane is bitwise identical to
+    ``bfs(graph, src, idempotent=False, direction="push")`` — CAS winners
+    are first-in-lane-order per cell and lane blocks stay contiguous, so
+    per-lane frontier evolution matches the per-source run exactly.
+    (Depth labels additionally match the default idempotent BFS, since
+    BFS levels are mode-independent.)
+    """
+    lanes = len(sources)
+    laned = block_diagonal(graph, lanes)
+    problem = BfsProblem(laned, machine, record_preds=record_preds)
+    starts = _composite_sources(graph.n, sources)
+    for s in starts:
+        problem.set_source(int(s))
+    enactor = BfsEnactor(problem, idempotent=False,
+                         direction=FixedDirection("push"))
+    enactor.enact(Frontier.from_vertices(starts))
+    labels = _split_lane_array(problem.labels, lanes, graph.n)
+    results = [LaneResult({"labels": lab}) for lab in labels]
+    if record_preds:
+        preds = _split_lane_array(problem.preds, lanes, graph.n, ids=True)
+        for r, p in zip(results, preds):
+            r.arrays["preds"] = p
+    return results
+
+
+def batched_sssp(graph: Csr, sources: Sequence[int], *,
+                 machine: Optional[Machine] = None) -> List[LaneResult]:
+    """Multi-source SSSP: merged relax + exact-dedup filter per step.
+
+    Runs without the near/far pile (its bucket thresholds depend on the
+    global iteration counter, which differs between batched and solo
+    runs); each lane is then bitwise identical to
+    ``sssp(graph, src, use_priority_queue=False)`` — the relax functor's
+    atomicMin and first-lane predecessor selection act on disjoint lane
+    cells, and the sort-based dedup keeps lane blocks contiguous.
+    """
+    lanes = len(sources)
+    laned = block_diagonal(graph, lanes)
+    problem = SsspProblem(laned, machine)
+    starts = _composite_sources(graph.n, sources)
+    for s in starts:
+        problem.set_source(int(s))
+    enactor = SsspEnactor(problem, delta=None)
+    enactor.enact(Frontier.from_vertices(starts))
+    labels = _split_lane_array(problem.labels, lanes, graph.n)
+    preds = _split_lane_array(problem.preds, lanes, graph.n, ids=True)
+    return [LaneResult({"labels": lab, "preds": p})
+            for lab, p in zip(labels, preds)]
+
+
+def batched_ppr(graph: Csr, seed_sets: Sequence[Sequence[int]], *,
+                machine: Optional[Machine] = None, damping: float = 0.85,
+                tolerance: Optional[float] = None,
+                max_iterations: int = 1000) -> List[LaneResult]:
+    """Multi-seed-set personalized PageRank, one lane per request.
+
+    The residual push runs on all lanes at once; converged lanes receive
+    only zero-residual commits (``rank += 0.0`` is a bitwise no-op), so
+    each lane equals ``ppr(graph, seeds, tolerance=0.01/n)`` bitwise.
+    """
+    lanes = len(seed_sets)
+    n = max(1, graph.n)
+    tol = (0.01 / n) if tolerance is None else tolerance
+    laned = block_diagonal(graph, lanes)
+    canonical = []
+    composite: List[np.ndarray] = []
+    for lane, seeds in enumerate(seed_sets):
+        arr = np.asarray(sorted(set(int(s) for s in seeds)), dtype=np.int64)
+        if len(arr) == 0:
+            raise ValueError("ppr request needs at least one seed")
+        if arr.min() < 0 or arr.max() >= graph.n:
+            raise ValueError("ppr seed out of range")
+        canonical.append(arr)
+        composite.append(arr + lane * graph.n)
+    all_seeds = np.concatenate(composite)
+    problem = PprProblem(laned, all_seeds, machine, damping=damping,
+                         tolerance=tol)
+    # PprProblem spread one teleport mass over the merged seed set; redo
+    # the initialization per lane so every request keeps its own mass
+    problem.rank[:] = 0.0
+    problem.residual[:] = 0.0
+    for lane, arr in enumerate(canonical):
+        base = (1.0 - damping) / len(arr)
+        problem.rank[composite[lane]] = base
+        problem.residual[composite[lane]] = base
+    enactor = PprEnactor(problem, max_iterations=max_iterations)
+    enactor.enact(Frontier(all_seeds))
+    ranks = _split_lane_array(problem.rank, lanes, graph.n)
+    return [LaneResult({"rank": r}) for r in ranks]
+
+
+# -- batch dispatch ----------------------------------------------------------
+
+
+def execute_batch(graph: Csr, batch: Batch, *,
+                  machine: Optional[Machine] = None) -> Dict[Tuple, LaneResult]:
+    """Run one batch; returns ``{query key: payload}`` for every lane."""
+    prim = batch.primitive
+    if prim == "bfs":
+        lanes = batched_bfs(graph, [q.params["src"] for q in batch.queries],
+                            machine=machine)
+    elif prim == "sssp":
+        lanes = batched_sssp(graph, [q.params["src"] for q in batch.queries],
+                             machine=machine)
+    elif prim == "ppr":
+        lanes = batched_ppr(graph,
+                            [list(q.params["seeds"]) for q in batch.queries],
+                            machine=machine)
+    elif prim == "pagerank":
+        # identical-param requests were already folded into one query,
+        # so each unique query runs once and fans out to its requesters
+        out = {}
+        for q in batch.queries:
+            shared = pagerank(graph, machine=machine, **q.params)
+            out[q.key] = LaneResult({"rank": shared.rank.copy()})
+        return out
+    elif prim == "wtf":
+        out: Dict[Tuple, LaneResult] = {}
+        for q in batch.queries:
+            r = who_to_follow(graph, q.params["user"],
+                              k=q.params.get("k", 10), machine=machine)
+            out[q.key] = LaneResult({
+                "recommendations": r.recommendations,
+                "similar_users": r.similar_users,
+            })
+        return out
+    else:
+        raise ValueError(
+            f"unknown primitive {prim!r}; served primitives: "
+            + ", ".join(SERVED_PRIMITIVES))
+    return {q.key: lane for q, lane in zip(batch.queries, lanes)}

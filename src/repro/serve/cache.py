@@ -1,0 +1,122 @@
+"""Versioned, byte-budgeted LRU result cache for the serving layer.
+
+Entries are keyed on ``(graph name, graph version, query key)``: a lookup
+always carries the *current* version of its graph, so a result computed
+against an older topology can never be returned — staleness is impossible
+by construction, and a defensive version check makes any would-be stale
+hit observable (``stats.stale_rejections``, asserted zero in CI).
+
+Eviction is least-recently-used by byte budget, the policy that matches a
+Zipf-popular serving workload: hot sources stay resident, the long tail
+recycles.  A graph-version bump additionally sweeps the dead version's
+entries eagerly so their bytes return to the budget immediately.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidated: int = 0          # entries swept by graph-version bumps
+    stale_rejections: int = 0     # lookups that matched an entry from a
+    # dead graph version (always 0 by construction; tracked defensively)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+            "stale_rejections": self.stale_rejections,
+        }
+
+
+@dataclass
+class _Entry:
+    payload: object
+    nbytes: int
+    graph: str
+    version: int
+
+
+class ResultCache:
+    """LRU over ``(graph, version, query)`` with a byte budget."""
+
+    def __init__(self, budget_bytes: int = 64 << 20):
+        if budget_bytes < 0:
+            raise ValueError("cache budget must be non-negative")
+        self.budget_bytes = int(budget_bytes)
+        self.bytes_used = 0
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(graph: str, version: int, query_key: Tuple) -> Tuple:
+        return (graph, int(version), query_key)
+
+    def get(self, graph: str, version: int, query_key: Tuple):
+        """Return the cached payload or None; hits refresh recency."""
+        key = self._key(graph, version, query_key)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.version != version:  # unreachable: version is in the key
+            self.stats.stale_rejections += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.payload
+
+    def put(self, graph: str, version: int, query_key: Tuple,
+            payload, nbytes: int) -> bool:
+        """Insert a result; returns False when it alone exceeds the budget."""
+        nbytes = int(nbytes)
+        if nbytes > self.budget_bytes:
+            return False
+        key = self._key(graph, version, query_key)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes_used -= old.nbytes
+        self._entries[key] = _Entry(payload, nbytes, graph, int(version))
+        self.bytes_used += nbytes
+        self.stats.insertions += 1
+        while self.bytes_used > self.budget_bytes:
+            _, victim = self._entries.popitem(last=False)
+            self.bytes_used -= victim.nbytes
+            self.stats.evictions += 1
+        return True
+
+    def invalidate_graph(self, graph: str,
+                         keep_version: Optional[int] = None) -> int:
+        """Sweep entries for ``graph`` (all versions, or all but one).
+
+        Called on a graph-version bump; returns the number of entries
+        dropped.  Even without this sweep stale results are unreachable
+        (the version is part of the key) — the sweep just frees budget.
+        """
+        dead = [k for k, e in self._entries.items()
+                if e.graph == graph and e.version != keep_version]
+        for k in dead:
+            entry = self._entries.pop(k)
+            self.bytes_used -= entry.nbytes
+        self.stats.invalidated += len(dead)
+        return len(dead)

@@ -1,0 +1,281 @@
+"""Admission control and deadline-aware dispatch for the serving layer.
+
+A deterministic event-driven loop over *simulated* time:
+
+* **Admission** — a bounded queue.  When ``max_queue`` requests are
+  already waiting, new arrivals are shed with a typed
+  :class:`Overloaded` error (load shedding beats queueing collapse for
+  deadline-bound traffic).
+* **Batching window** — an admitted request waits up to
+  ``batch_window_ms`` for same-primitive batch mates (or until
+  ``max_lanes`` are queued), then the group becomes dispatchable.
+* **Dispatch** — earliest-deadline-first over dispatchable groups, onto
+  the lowest-numbered idle device (each device is its own
+  :class:`~repro.simt.machine.Machine`, so service cost is that device's
+  simulated makespan for the batched execution).  Requests whose deadline
+  already passed are dropped rather than executed.
+* **Faults** — a seeded Bernoulli draw per dispatch models a transient
+  mid-request fault; recovery reuses
+  :class:`~repro.resilience.recovery.RetryPolicy`: the device pays the
+  wasted half-execution plus the policy's backoff (charged to the
+  device's simulated clock), then replays.
+
+Every decision is a pure function of the event sequence and the seed, so
+a replay report is byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Csr
+from ..resilience.recovery import RetryPolicy
+from ..simt.machine import Machine
+from .batcher import DEFAULT_MAX_LANES, plan_batches
+from .service import Completion, GraphService, Request
+
+#: event kinds, in processing order at equal timestamps: graph updates
+#: land before arrivals so a coinciding request sees the new version
+_EV_UPDATE, _EV_ARRIVAL, _EV_FREE, _EV_FLUSH = 0, 1, 2, 3
+
+
+class Overloaded(RuntimeError):
+    """Typed admission-control rejection: the service queue is full."""
+
+    def __init__(self, rid: int, queue_depth: int, limit: int):
+        super().__init__(
+            f"request {rid} shed: queue depth {queue_depth} at limit {limit}")
+        self.rid = rid
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+@dataclass
+class Device:
+    """One serving device: a simulated GPU plus its busy horizon."""
+
+    index: int
+    machine: Machine = field(default_factory=Machine)
+    busy_until_ms: float = 0.0
+
+    def idle(self, now: float) -> bool:
+        return self.busy_until_ms <= now
+
+
+class DeadlineScheduler:
+    """Bounded-queue, EDF-dispatch scheduler over one or more devices."""
+
+    def __init__(self, service: GraphService, *, devices: int = 1,
+                 max_queue: int = 64,
+                 batch_window_ms: float = 2.0,
+                 max_lanes: int = DEFAULT_MAX_LANES,
+                 retry: Optional[RetryPolicy] = None,
+                 fault_rate: float = 0.0, seed: int = 0):
+        if devices < 1:
+            raise ValueError("need at least one device")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if not 0.0 <= fault_rate < 1.0:
+            raise ValueError("fault_rate must be in [0, 1)")
+        self.service = service
+        self.devices = [Device(i) for i in range(devices)]
+        self.max_queue = max_queue
+        self.batch_window_ms = batch_window_ms
+        self.max_lanes = max_lanes
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_rate = fault_rate
+        self._rng = np.random.default_rng(seed)
+        self._queues: Dict[Tuple[str, str], Deque[Request]] = {}
+        self._queued = 0
+        self.completions: List[Completion] = []
+        self.recovered_faults = 0
+        self.retry_backoff_ms = 0.0
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._seq = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def enqueue(self, request: Request, now: float) -> Optional[Completion]:
+        """Admit one request at time ``now``.
+
+        Returns a completion immediately for a cache hit, None when the
+        request was queued, and raises :class:`Overloaded` when the
+        bounded queue is full.
+        """
+        self.service.validate(request)
+        if self.service.lookup(request) is not None:
+            done = Completion(request.rid, request.primitive,
+                              request.arrival_ms, now, "cache_hit",
+                              deadline_met=now <= request.absolute_deadline_ms)
+            self.completions.append(done)
+            return done
+        if self._queued >= self.max_queue:
+            raise Overloaded(request.rid, self._queued, self.max_queue)
+        key = (request.graph, request.primitive)
+        self._queues.setdefault(key, deque()).append(request)
+        self._queued += 1
+        self._push(now + self.batch_window_ms, _EV_FLUSH, None)
+        return None
+
+    # -- the replay loop ---------------------------------------------------
+
+    def _push(self, time: float, kind: int, payload) -> None:
+        heapq.heappush(self._heap, (time, kind, self._seq, payload))
+        self._seq += 1
+
+    def replay(self, requests: List[Request],
+               updates: Optional[List[Tuple[float, str, Csr]]] = None,
+               on_complete: Optional[
+                   Callable[[Request, Completion], Optional[Request]]] = None,
+               ) -> List[Completion]:
+        """Run the full event loop; returns every request's completion.
+
+        ``updates`` are ``(at_ms, graph_name, new_csr)`` graph-version
+        bumps; ``on_complete`` (closed-loop workloads) may return the
+        originating client's next request.
+        """
+        by_rid: Dict[int, Request] = {}
+        for req in requests:
+            by_rid[req.rid] = req
+            self._push(req.arrival_ms, _EV_ARRIVAL, req)
+        for at_ms, name, csr in updates or []:
+            self._push(at_ms, _EV_UPDATE, (name, csr))
+
+        while self._heap:
+            now = self._heap[0][0]
+            # drain every event at this timestamp before dispatching, so
+            # coinciding arrivals can share a batch
+            finished: List[Completion] = []
+            while self._heap and self._heap[0][0] == now:
+                _, kind, _, payload = heapq.heappop(self._heap)
+                if kind == _EV_UPDATE:
+                    name, csr = payload
+                    self.service.update_graph(csr, name)
+                elif kind == _EV_ARRIVAL:
+                    req = payload
+                    by_rid[req.rid] = req
+                    try:
+                        done = self.enqueue(req, now)
+                    except Overloaded:
+                        done = Completion(req.rid, req.primitive,
+                                          req.arrival_ms, now, "shed",
+                                          deadline_met=False)
+                        self.completions.append(done)
+                    if done is not None:
+                        finished.append(done)
+                # _EV_FREE and _EV_FLUSH exist only to wake the dispatcher
+            finished.extend(self._dispatch(now))
+            if on_complete is not None:
+                for done in finished:
+                    follow = on_complete(by_rid[done.rid], done)
+                    if follow is not None:
+                        self._push(follow.arrival_ms, _EV_ARRIVAL, follow)
+        return self.completions
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _ready_groups(self, now: float) -> List[Tuple[str, str]]:
+        ready = []
+        for key, q in self._queues.items():
+            if not q:
+                continue
+            waited = now - q[0].arrival_ms
+            # the 1e-9 slack absorbs float error in arrival + window - now,
+            # so the flush event scheduled at exactly arrival + window
+            # always finds its group ready
+            if waited >= self.batch_window_ms - 1e-9 or \
+                    len(q) >= self.max_lanes:
+                ready.append(key)
+        return ready
+
+    def _group_urgency(self, key: Tuple[str, str]) -> Tuple:
+        q = self._queues[key]
+        deadline = min(r.absolute_deadline_ms for r in q)
+        priority = min(r.priority for r in q)
+        return (deadline, priority, key)
+
+    def _dispatch(self, now: float) -> List[Completion]:
+        finished: List[Completion] = []
+        while True:
+            idle = [d for d in self.devices if d.idle(now)]
+            if not idle:
+                break
+            ready = self._ready_groups(now)
+            if not ready:
+                break
+            key = min(ready, key=self._group_urgency)
+            graph_name, primitive = key
+            q = self._queues[key]
+            taken: List[Request] = []
+            while q and len(taken) < self.max_lanes:
+                taken.append(q.popleft())
+            self._queued -= len(taken)
+            runnable: List[Request] = []
+            for req in taken:
+                if req.absolute_deadline_ms < now:
+                    done = Completion(req.rid, req.primitive, req.arrival_ms,
+                                      now, "deadline_drop",
+                                      deadline_met=False)
+                    self.completions.append(done)
+                    finished.append(done)
+                elif self.service.lookup(req) is not None:
+                    # an earlier batch filled the cache while this waited
+                    done = Completion(req.rid, req.primitive, req.arrival_ms,
+                                      now, "cache_hit")
+                    self.completions.append(done)
+                    finished.append(done)
+                else:
+                    runnable.append(req)
+            if not runnable:
+                continue
+            device = idle[0]
+            finished.extend(
+                self._execute(device, graph_name, primitive, runnable, now))
+        return finished
+
+    def _execute(self, device: Device, graph_name: str, primitive: str,
+                 runnable: List[Request], now: float) -> List[Completion]:
+        batches = plan_batches(primitive,
+                               [(r.rid, r.params) for r in runnable],
+                               self.max_lanes)
+        by_rid = {r.rid: r for r in runnable}
+        out: List[Completion] = []
+        start = now
+        # solo primitives (wtf) yield one batch per unique query; they
+        # serialize back-to-back on the chosen device
+        for batch in batches:
+            before = device.machine.elapsed_ms()
+            self.service.run_batch(graph_name, batch, device.machine)
+            exec_ms = device.machine.elapsed_ms() - before
+            service_ms = exec_ms
+            if self.fault_rate and self.retry.max_retries > 0 and \
+                    self._rng.random() < self.fault_rate:
+                # transient fault mid-request: half the execution is
+                # wasted, the retry policy's backoff is paid, then the
+                # batch replays
+                backoff = self.retry.backoff_ms(0)
+                wasted = 0.5 * exec_ms
+                device.machine.stall_ms("serve_fault_replay",
+                                        wasted + backoff)
+                service_ms += wasted + backoff
+                self.recovered_faults += 1
+                self.retry_backoff_ms += backoff
+            finish = start + service_ms
+            for q in batch.queries:
+                for rid in q.request_ids:
+                    req = by_rid[rid]
+                    done = Completion(
+                        rid, req.primitive, req.arrival_ms, finish, "ok",
+                        batch_lanes=batch.lanes, device=device.index,
+                        deadline_met=finish <= req.absolute_deadline_ms)
+                    self.completions.append(done)
+                    out.append(done)
+            start = finish
+        device.busy_until_ms = start
+        self._push(start, _EV_FREE, device.index)
+        return out

@@ -1,0 +1,263 @@
+"""The graph-query service: versioned graphs + query admission + results.
+
+:class:`GraphService` is the serving layer's front door.  It owns one or
+more *versioned* loaded graphs (an online service re-ingests its graph —
+Twitter's follow graph changes constantly), a byte-budgeted result cache
+(:mod:`repro.serve.cache`), and a deadline-aware scheduler
+(:mod:`repro.serve.scheduler`).  Queries arrive as :class:`Request`
+objects carrying a deadline and a priority; the batcher
+(:mod:`repro.serve.batcher`) coalesces compatible queued queries into one
+operator-level execution.
+
+Everything runs in *simulated* time: request service cost is the
+simulated-GPU makespan of the batched execution on the dispatch device,
+so throughput/latency numbers are deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import Csr
+from .batcher import (Batch, LaneResult, SERVED_PRIMITIVES, execute_batch,
+                      query_key)
+from .cache import ResultCache
+
+DEFAULT_GRAPH = "default"
+
+
+@dataclass
+class Request:
+    """One query: a primitive, its parameters, and serving metadata.
+
+    ``deadline_ms`` is the latency budget relative to ``arrival_ms``;
+    ``priority`` breaks deadline ties (lower is more urgent).
+    """
+
+    rid: int
+    primitive: str
+    params: Dict
+    arrival_ms: float = 0.0
+    deadline_ms: float = float("inf")
+    priority: int = 0
+    graph: str = DEFAULT_GRAPH
+    client: int = 0
+
+    @property
+    def absolute_deadline_ms(self) -> float:
+        return self.arrival_ms + self.deadline_ms
+
+    @property
+    def key(self) -> Tuple:
+        return query_key(self.primitive, self.params)
+
+
+@dataclass
+class Completion:
+    """Terminal record of one request's journey through the service."""
+
+    rid: int
+    primitive: str
+    arrival_ms: float
+    finish_ms: float
+    outcome: str          # "ok" | "cache_hit" | "shed" | "deadline_drop"
+    batch_lanes: int = 0  # lanes of the executing batch (0 = not executed)
+    device: int = -1
+    deadline_met: bool = True
+
+    @property
+    def latency_ms(self) -> float:
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def served(self) -> bool:
+        return self.outcome in ("ok", "cache_hit")
+
+
+@dataclass
+class VersionedGraph:
+    """A loaded graph plus its monotonically increasing version."""
+
+    name: str
+    csr: Csr
+    version: int = 0
+
+
+class GraphService:
+    """Versioned graph store + cache + batched execution backend."""
+
+    def __init__(self, *, cache_bytes: int = 64 << 20):
+        self.graphs: Dict[str, VersionedGraph] = {}
+        self.cache = ResultCache(cache_bytes)
+        self.executed_batches: List[Tuple[str, int]] = []  # (primitive, lanes)
+
+    # -- graph lifecycle ---------------------------------------------------
+
+    def load_graph(self, csr: Csr, name: str = DEFAULT_GRAPH) -> VersionedGraph:
+        """Install a graph at version 0 (or replace, bumping the version)."""
+        existing = self.graphs.get(name)
+        if existing is None:
+            vg = self.graphs[name] = VersionedGraph(name, csr)
+            return vg
+        return self.update_graph(csr, name)
+
+    def update_graph(self, csr: Csr, name: str = DEFAULT_GRAPH) -> VersionedGraph:
+        """Swap in a new graph snapshot; bumps the version and sweeps the
+        dead version's cache entries (old results become unreachable)."""
+        vg = self.graphs[name]
+        vg.csr = csr
+        vg.version += 1
+        self.cache.invalidate_graph(name, keep_version=vg.version)
+        return vg
+
+    def graph_version(self, name: str = DEFAULT_GRAPH) -> VersionedGraph:
+        vg = self.graphs.get(name)
+        if vg is None:
+            raise KeyError(f"no graph loaded under {name!r}")
+        return vg
+
+    # -- query path --------------------------------------------------------
+
+    def validate(self, request: Request) -> None:
+        if request.primitive not in SERVED_PRIMITIVES:
+            raise ValueError(
+                f"unknown primitive {request.primitive!r}; served "
+                "primitives: " + ", ".join(SERVED_PRIMITIVES))
+        self.graph_version(request.graph)
+
+    def lookup(self, request: Request) -> Optional[LaneResult]:
+        """Cache probe against the request's graph at its *current* version."""
+        vg = self.graph_version(request.graph)
+        return self.cache.get(vg.name, vg.version, request.key)
+
+    def run_batch(self, graph_name: str, batch: Batch,
+                  machine) -> Dict[Tuple, LaneResult]:
+        """Execute one batch on a device machine and cache every lane."""
+        vg = self.graph_version(graph_name)
+        results = execute_batch(vg.csr, batch, machine=machine)
+        for key, payload in results.items():
+            self.cache.put(vg.name, vg.version, key, payload, payload.nbytes)
+        self.executed_batches.append((batch.primitive, batch.lanes))
+        return results
+
+    # -- reporting ---------------------------------------------------------
+
+    def batch_histogram(self) -> Dict[str, Dict[int, int]]:
+        """Per-primitive histogram of executed batch lane counts."""
+        out: Dict[str, Dict[int, int]] = {}
+        for prim, lanes in self.executed_batches:
+            out.setdefault(prim, {})
+            out[prim][lanes] = out[prim].get(lanes, 0) + 1
+        return {p: dict(sorted(h.items())) for p, h in sorted(out.items())}
+
+
+@dataclass
+class ServeReport:
+    """Aggregate replay metrics — the ``repro serve`` output."""
+
+    requests: int
+    served: int
+    cache_hits: int
+    shed: int
+    deadline_drops: int
+    deadline_misses: int     # served, but after the deadline
+    throughput_rps: float
+    p50_ms: float
+    p99_ms: float
+    hit_rate: float
+    stale_hits: int
+    batch_histogram: Dict[str, Dict[int, int]]
+    makespan_ms: float
+    executed_batches: int
+    recovered_faults: int = 0
+    retry_backoff_ms: float = 0.0
+    cache: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_replay(cls, completions: List[Completion], service: GraphService,
+                    recovered_faults: int = 0,
+                    retry_backoff_ms: float = 0.0) -> "ServeReport":
+        served = [c for c in completions if c.served]
+        latencies = np.array([c.latency_ms for c in served], dtype=np.float64)
+        if len(served):
+            start = min(c.arrival_ms for c in completions)
+            end = max(c.finish_ms for c in served)
+            makespan = max(end - start, 1e-9)
+            throughput = len(served) / (makespan * 1e-3)
+            p50 = float(np.percentile(latencies, 50))
+            p99 = float(np.percentile(latencies, 99))
+        else:
+            makespan = 0.0
+            throughput = p50 = p99 = 0.0
+        stats = service.cache.stats
+        return cls(
+            requests=len(completions),
+            served=len(served),
+            cache_hits=sum(1 for c in completions if c.outcome == "cache_hit"),
+            shed=sum(1 for c in completions if c.outcome == "shed"),
+            deadline_drops=sum(1 for c in completions
+                               if c.outcome == "deadline_drop"),
+            deadline_misses=sum(1 for c in served if not c.deadline_met),
+            throughput_rps=throughput,
+            p50_ms=p50,
+            p99_ms=p99,
+            hit_rate=stats.hit_rate(),
+            stale_hits=stats.stale_rejections,
+            batch_histogram=service.batch_histogram(),
+            makespan_ms=makespan,
+            executed_batches=len(service.executed_batches),
+            recovered_faults=recovered_faults,
+            retry_backoff_ms=retry_backoff_ms,
+            cache=stats.as_dict(),
+        )
+
+    def as_dict(self) -> Dict:
+        return {
+            "requests": self.requests,
+            "served": self.served,
+            "cache_hits": self.cache_hits,
+            "shed": self.shed,
+            "deadline_drops": self.deadline_drops,
+            "deadline_misses": self.deadline_misses,
+            "throughput_rps": round(self.throughput_rps, 6),
+            "p50_ms": round(self.p50_ms, 6),
+            "p99_ms": round(self.p99_ms, 6),
+            "hit_rate": round(self.hit_rate, 6),
+            "stale_hits": self.stale_hits,
+            "batch_histogram": {p: {str(k): v for k, v in h.items()}
+                                for p, h in self.batch_histogram.items()},
+            "makespan_ms": round(self.makespan_ms, 6),
+            "executed_batches": self.executed_batches,
+            "recovered_faults": self.recovered_faults,
+            "retry_backoff_ms": round(self.retry_backoff_ms, 6),
+            "cache": {k: (round(v, 6) if isinstance(v, float) else v)
+                      for k, v in self.cache.items()},
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"{'requests':<22}{self.requests}",
+            f"{'served':<22}{self.served} "
+            f"({self.cache_hits} cache hits)",
+            f"{'shed (overload)':<22}{self.shed}",
+            f"{'deadline drops':<22}{self.deadline_drops}",
+            f"{'deadline misses':<22}{self.deadline_misses}",
+            f"{'throughput':<22}{self.throughput_rps:.1f} req/s (simulated)",
+            f"{'latency p50':<22}{self.p50_ms:.3f} ms",
+            f"{'latency p99':<22}{self.p99_ms:.3f} ms",
+            f"{'cache hit rate':<22}{self.hit_rate:.1%}",
+            f"{'stale hits':<22}{self.stale_hits}",
+            f"{'executed batches':<22}{self.executed_batches}",
+        ]
+        if self.recovered_faults:
+            lines.append(f"{'recovered faults':<22}{self.recovered_faults} "
+                         f"(backoff {self.retry_backoff_ms:.1f} ms)")
+        lines.append("batch sizes per primitive:")
+        for prim, hist in self.batch_histogram.items():
+            spread = "  ".join(f"{lanes}x{count}"
+                               for lanes, count in hist.items())
+            lines.append(f"  {prim:<10}{spread}")
+        return "\n".join(lines)

@@ -82,3 +82,57 @@ def test_parser_has_all_commands():
     text = parser.format_help()
     for cmd in ("info", "generate", "run", "compare", "datasets"):
         assert cmd in text
+
+
+def test_parser_has_serve_command():
+    text = build_parser().format_help()
+    assert "serve" in text
+
+
+def test_run_json_output(capsys):
+    import json
+
+    assert run_cli("run", "bfs", "--generate", "kron:8", "--json") == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["primitive"] == "bfs"
+    assert payload["counters"]["kernel_launches"] > 0
+    assert set(payload["arrays"]) == {"labels", "preds"}
+    for arr in payload["arrays"].values():
+        assert set(arr) == {"dtype", "shape", "crc32"}
+
+
+def test_run_json_deterministic(capsys):
+    assert run_cli("run", "sssp", "--generate", "kron:8", "--json") == 0
+    first = capsys.readouterr().out
+    assert run_cli("run", "sssp", "--generate", "kron:8", "--json") == 0
+    assert capsys.readouterr().out == first
+
+
+def test_serve_text_report(capsys):
+    assert run_cli("serve", "--generate", "kron:9", "--requests", "80",
+                   "--seed", "5") == 0
+    out = capsys.readouterr().out
+    assert "cache hit rate" in out
+    assert "batch sizes per primitive" in out
+
+
+def test_serve_json_deterministic(capsys):
+    import json
+
+    args = ("serve", "--generate", "kron:9", "--requests", "80",
+            "--seed", "5", "--json")
+    assert run_cli(*args) == 0
+    first = capsys.readouterr().out
+    assert run_cli(*args) == 0
+    assert capsys.readouterr().out == first
+    payload = json.loads(first)
+    assert payload["requests"] == 80
+    assert payload["stale_hits"] == 0
+    assert payload["hit_rate"] > 0
+
+
+def test_serve_closed_loop_with_faults(capsys):
+    assert run_cli("serve", "--generate", "kron:9", "--requests", "60",
+                   "--seed", "3", "--mode", "closed", "--clients", "4",
+                   "--updates", "1", "--fault-rate", "0.2") == 0
+    assert "requests" in capsys.readouterr().out

@@ -125,6 +125,38 @@ def test_operator_flow_unknown():
         operator_flow("nope", g)
 
 
+def test_operator_flow_unknown_lists_valid_names():
+    g = generators.kronecker(8, seed=2)
+    with pytest.raises(ValueError, match="traceable primitives"):
+        operator_flow("nope", g)
+    try:
+        operator_flow("nope", g)
+    except ValueError as err:
+        for prim in PAPER_FLOWS:
+            assert prim in str(err)
+
+
+def test_operator_flow_ppr():
+    g = generators.kronecker(8, seed=2)
+    assert operator_flow("ppr", g) == ["advance", "filter"]
+
+
+def test_operator_flow_salsa_and_wtf():
+    g = generators.kronecker(8, seed=2)
+    assert operator_flow("salsa", g) == ["advance", "advance(backward)"]
+    assert operator_flow("wtf", g) == ["advance", "advance(backward)"]
+
+
+def test_operator_flow_wtf_picks_a_walking_user():
+    # src with zero followees: the tracer falls back to a hub vertex
+    # instead of tripping the cold-start path
+    g = generators.hub_graph(200, seed=4)
+    sink = int(g.out_degrees.argmin())
+    if g.out_degrees[sink] == 0:
+        assert operator_flow("wtf", g, src=sink) == \
+            ["advance", "advance(backward)"]
+
+
 def test_all_flows_and_render():
     g = generators.kronecker(8, seed=2)
     flows = all_flows(g)

@@ -171,6 +171,51 @@ def test_wtf_rejects_bad_user(follow_graph):
         P.who_to_follow(follow_graph, -1)
 
 
+def test_wtf_cold_start_reports_no_salsa_stage():
+    from repro.graph import from_edges
+
+    g = from_edges([(1, 2)], n=3)
+    r = P.who_to_follow(g, 0, k=5)
+    assert len(r.recommendations) == 0
+    assert len(r.similar_users) == 0
+    assert r.salsa_stats is None  # the ranking stage never ran
+
+
+def test_wtf_k_exceeds_candidate_set():
+    from repro.graph import from_edges
+
+    # 0 -> 1 -> 2 -> 3: the circle of trust is {2}, whose only followee
+    # that 0 does not already follow is 3 — one candidate, k=50
+    g = from_edges([(0, 1), (1, 2), (2, 3)], n=4)
+    r = P.who_to_follow(g, 0, k=50)
+    assert r.recommendations.tolist() == [3]
+    assert len(r.recommendations) < 50
+
+
+def test_wtf_never_recommends_user_or_followees(follow_graph):
+    for user in range(min(8, follow_graph.n)):
+        r = P.who_to_follow(follow_graph, user, k=10)
+        already = set(follow_graph.neighbors(user).tolist()) | {user}
+        assert not (set(r.recommendations.tolist()) & already)
+        assert user not in r.similar_users.tolist()
+
+
+def test_wtf_self_loop_user_excluded():
+    from repro.graph import from_edges
+
+    # a self-follow must not surface the user as their own recommendation
+    g = from_edges([(0, 0), (0, 1), (1, 0), (1, 2)], n=3)
+    r = P.who_to_follow(g, 0, k=5)
+    assert 0 not in r.recommendations.tolist()
+    assert 1 not in r.recommendations.tolist()  # already followed
+
+
+def test_wtf_exposes_salsa_trace(follow_graph):
+    r = P.who_to_follow(follow_graph, 0, k=5)
+    assert r.salsa_stats is not None
+    assert r.salsa_stats.op_sequence(0) == ["advance", "advance(backward)"]
+
+
 def test_circle_of_trust_ranked(follow_graph):
     circle = P.circle_of_trust(follow_graph, 0, size=50)
     assert len(circle) <= 50

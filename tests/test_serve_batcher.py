@@ -1,0 +1,218 @@
+"""Batched multi-source execution: bitwise equivalence + batch planning.
+
+The serving layer's headline acceptance criterion: a request served from
+a batched multi-source run must be *bitwise identical* to the same
+request served alone.  These tests pin that for BFS, SSSP, and PPR on
+every topology class, including duplicate sources inside one batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import block_diagonal, from_edges, generators
+from repro.primitives import bfs, ppr, sssp
+from repro.serve import (batched_bfs, batched_ppr, batched_sssp,
+                         execute_batch, plan_batches, query_key)
+
+SOURCES = [0, 5, 17, 100, 5]  # includes a duplicate lane
+
+
+# -- block-diagonal replication ----------------------------------------------
+
+
+def test_block_diagonal_structure(kron_graph):
+    g = kron_graph
+    laned = block_diagonal(g, 3)
+    assert laned.n == 3 * g.n
+    assert laned.m == 3 * g.m
+    for lane in range(3):
+        lo, hi = lane * g.n, (lane + 1) * g.n
+        sl = laned.indptr[lo:hi + 1] - laned.indptr[lo]
+        np.testing.assert_array_equal(sl, g.indptr)
+        np.testing.assert_array_equal(
+            laned.indices[laned.indptr[lo]:laned.indptr[hi]] - lane * g.n,
+            g.indices)
+
+
+def test_block_diagonal_copies_weights(kron_weighted):
+    laned = block_diagonal(kron_weighted, 2)
+    np.testing.assert_array_equal(
+        laned.edge_values, np.tile(kron_weighted.edge_values, 2))
+
+
+def test_block_diagonal_identity_and_validation(kron_graph):
+    assert block_diagonal(kron_graph, 1) is kron_graph
+    with pytest.raises(ValueError):
+        block_diagonal(kron_graph, 0)
+
+
+# -- bitwise equivalence ------------------------------------------------------
+
+
+def test_batched_bfs_bitwise_equal_per_source(kron_graph):
+    lanes = batched_bfs(kron_graph, SOURCES)
+    for src, lane in zip(SOURCES, lanes):
+        solo = bfs(kron_graph, src, idempotent=False, direction="push")
+        np.testing.assert_array_equal(lane.arrays["labels"], solo.labels)
+        np.testing.assert_array_equal(lane.arrays["preds"], solo.preds)
+        # depths are traversal-mode independent: the default BFS agrees
+        np.testing.assert_array_equal(lane.arrays["labels"],
+                                      bfs(kron_graph, src).labels)
+
+
+def test_batched_bfs_bitwise_equal_road(road_graph):
+    srcs = [0, 11, 200]
+    for src, lane in zip(srcs, batched_bfs(road_graph, srcs)):
+        solo = bfs(road_graph, src, idempotent=False, direction="push")
+        np.testing.assert_array_equal(lane.arrays["labels"], solo.labels)
+        np.testing.assert_array_equal(lane.arrays["preds"], solo.preds)
+
+
+def test_batched_sssp_bitwise_equal_per_source(kron_weighted):
+    lanes = batched_sssp(kron_weighted, SOURCES)
+    for src, lane in zip(SOURCES, lanes):
+        solo = sssp(kron_weighted, src, use_priority_queue=False)
+        np.testing.assert_array_equal(lane.arrays["labels"], solo.labels)
+        np.testing.assert_array_equal(lane.arrays["preds"], solo.preds)
+
+
+def test_batched_sssp_unweighted_unit_costs(kron_graph):
+    srcs = [3, 3, 9]
+    for src, lane in zip(srcs, batched_sssp(kron_graph, srcs)):
+        solo = sssp(kron_graph, src, use_priority_queue=False)
+        np.testing.assert_array_equal(lane.arrays["labels"], solo.labels)
+
+
+def test_batched_ppr_bitwise_equal_per_seed_set(kron_graph):
+    seed_sets = [[0], [5, 9], [17], [5, 9]]
+    lanes = batched_ppr(kron_graph, seed_sets)
+    for seeds, lane in zip(seed_sets, lanes):
+        solo = ppr(kron_graph, seeds)
+        np.testing.assert_array_equal(lane.arrays["rank"], solo.rank)
+
+
+def test_batched_bfs_isolated_source(tiny_graph):
+    # vertex 5 is isolated: its lane must not leak into others
+    lanes = batched_bfs(tiny_graph, [0, 5])
+    solo0 = bfs(tiny_graph, 0, idempotent=False, direction="push")
+    solo5 = bfs(tiny_graph, 5, idempotent=False, direction="push")
+    np.testing.assert_array_equal(lanes[0].arrays["labels"], solo0.labels)
+    np.testing.assert_array_equal(lanes[1].arrays["labels"], solo5.labels)
+
+
+def test_batched_source_validation(tiny_graph):
+    with pytest.raises(ValueError):
+        batched_bfs(tiny_graph, [0, tiny_graph.n])
+    with pytest.raises(ValueError):
+        batched_ppr(tiny_graph, [[0], []])
+
+
+# -- batch planning -----------------------------------------------------------
+
+
+def test_plan_batches_dedupes_identical_queries():
+    pending = [(1, {"src": 4}), (2, {"src": 7}), (3, {"src": 4})]
+    batches = plan_batches("bfs", pending, max_lanes=8)
+    assert len(batches) == 1
+    batch = batches[0]
+    assert batch.lanes == 2
+    assert batch.request_count == 3
+    by_key = {q.key: q.request_ids for q in batch.queries}
+    assert by_key[query_key("bfs", {"src": 4})] == [1, 3]
+    assert by_key[query_key("bfs", {"src": 7})] == [2]
+
+
+def test_plan_batches_respects_lane_cap():
+    pending = [(i, {"src": i}) for i in range(7)]
+    batches = plan_batches("sssp", pending, max_lanes=3)
+    assert [b.lanes for b in batches] == [3, 3, 1]
+
+
+def test_plan_batches_solo_wtf_is_one_lane_each():
+    pending = [(0, {"user": 1, "k": 5}), (1, {"user": 2, "k": 5})]
+    batches = plan_batches("wtf", pending, max_lanes=8)
+    assert [b.lanes for b in batches] == [1, 1]
+
+
+def test_plan_batches_unknown_primitive():
+    with pytest.raises(ValueError, match="served primitives"):
+        plan_batches("mst", [(0, {})])
+
+
+def test_query_key_order_independent():
+    assert query_key("wtf", {"user": 3, "k": 10}) == \
+        query_key("wtf", {"k": 10, "user": 3})
+
+
+# -- execute_batch fan-out ----------------------------------------------------
+
+
+def test_execute_batch_maps_keys_to_lanes(kron_graph):
+    pending = [(0, {"src": 2}), (1, {"src": 6}), (2, {"src": 2})]
+    (batch,) = plan_batches("bfs", pending)
+    results = execute_batch(kron_graph, batch)
+    assert set(results) == {q.key for q in batch.queries}
+    solo = bfs(kron_graph, 2, idempotent=False, direction="push")
+    np.testing.assert_array_equal(
+        results[query_key("bfs", {"src": 2})].arrays["labels"], solo.labels)
+
+
+def test_execute_batch_pagerank_coalesces(kron_graph):
+    from repro.primitives import pagerank
+
+    pending = [(0, {}), (1, {}), (2, {"damping": 0.7})]
+    (batch,) = plan_batches("pagerank", pending)
+    assert batch.lanes == 2  # two unique parameterizations
+    results = execute_batch(kron_graph, batch)
+    np.testing.assert_array_equal(
+        results[query_key("pagerank", {})].arrays["rank"],
+        pagerank(kron_graph).rank)
+    np.testing.assert_array_equal(
+        results[query_key("pagerank", {"damping": 0.7})].arrays["rank"],
+        pagerank(kron_graph, damping=0.7).rank)
+
+
+def test_execute_batch_wtf_matches_pipeline():
+    from repro.primitives import who_to_follow
+
+    g = generators.kronecker(8, seed=11)
+    user = int(g.out_degrees.argmax())
+    (batch,) = plan_batches("wtf", [(0, {"user": user, "k": 5})])
+    results = execute_batch(g, batch)
+    direct = who_to_follow(g, user, k=5)
+    payload = results[query_key("wtf", {"user": user, "k": 5})]
+    np.testing.assert_array_equal(payload.arrays["recommendations"],
+                                  direct.recommendations)
+    np.testing.assert_array_equal(payload.arrays["similar_users"],
+                                  direct.similar_users)
+
+
+def test_batched_launch_amortization(kron_graph):
+    """The point of batching: far fewer kernel launches than N solo runs."""
+    from repro.simt import Machine
+
+    srcs = [0, 5, 17, 100]
+    m_batch = Machine()
+    batched_bfs(kron_graph, srcs, machine=m_batch)
+    solo_launches = 0
+    for s in srcs:
+        m = Machine()
+        bfs(kron_graph, s, idempotent=False, direction="push", machine=m)
+        solo_launches += m.counters.kernel_launches
+    assert m_batch.counters.kernel_launches < solo_launches
+
+
+def test_lane_result_nbytes(tiny_graph):
+    lane = batched_bfs(tiny_graph, [0])[0]
+    assert lane.nbytes == sum(a.nbytes for a in lane.arrays.values())
+
+
+def test_batched_bfs_many_lanes_tiny():
+    g = from_edges([(0, 1), (1, 2), (2, 3)], n=4, undirected=True)
+    srcs = list(range(4)) * 2
+    for src, lane in zip(srcs, batched_bfs(g, srcs)):
+        solo = bfs(g, src, idempotent=False, direction="push")
+        np.testing.assert_array_equal(lane.arrays["labels"], solo.labels)
+        np.testing.assert_array_equal(lane.arrays["preds"], solo.preds)

@@ -1,0 +1,121 @@
+"""Versioned result cache: LRU byte budget + staleness-by-construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import with_random_weights
+from repro.serve import (GraphService, Request, ResultCache, WorkloadSpec,
+                         plan_batches, query_key, run_serving)
+from repro.simt import Machine
+
+
+def _payload(nbytes: int):
+    class P:
+        pass
+    p = P()
+    p.nbytes = nbytes
+    return p
+
+
+def test_hit_miss_accounting():
+    c = ResultCache(1 << 20)
+    key = query_key("bfs", {"src": 0})
+    assert c.get("g", 0, key) is None
+    payload = _payload(100)
+    assert c.put("g", 0, key, payload, 100)
+    assert c.get("g", 0, key) is payload
+    assert c.stats.hits == 1 and c.stats.misses == 1
+    assert c.stats.hit_rate() == 0.5
+
+
+def test_version_is_part_of_the_key():
+    c = ResultCache(1 << 20)
+    key = query_key("bfs", {"src": 0})
+    c.put("g", 0, key, _payload(10), 10)
+    assert c.get("g", 1, key) is None  # new version: unreachable, a miss
+    assert c.get("g", 0, key) is not None
+    assert c.stats.stale_rejections == 0
+
+
+def test_lru_eviction_by_byte_budget():
+    c = ResultCache(300)
+    for i in range(3):
+        c.put("g", 0, query_key("bfs", {"src": i}), _payload(100), 100)
+    c.get("g", 0, query_key("bfs", {"src": 0}))  # refresh src=0
+    c.put("g", 0, query_key("bfs", {"src": 3}), _payload(100), 100)
+    # src=1 was least recently used: evicted; src=0 survived the refresh
+    assert c.get("g", 0, query_key("bfs", {"src": 1})) is None
+    assert c.get("g", 0, query_key("bfs", {"src": 0})) is not None
+    assert c.stats.evictions == 1
+    assert c.bytes_used <= 300
+
+
+def test_oversize_entry_refused():
+    c = ResultCache(50)
+    assert not c.put("g", 0, query_key("bfs", {"src": 0}), _payload(51), 51)
+    assert len(c) == 0 and c.bytes_used == 0
+
+
+def test_put_replaces_same_key():
+    c = ResultCache(1 << 10)
+    key = query_key("bfs", {"src": 0})
+    c.put("g", 0, key, _payload(100), 100)
+    c.put("g", 0, key, _payload(40), 40)
+    assert len(c) == 1 and c.bytes_used == 40
+
+
+def test_invalidate_graph_sweeps_dead_versions():
+    c = ResultCache(1 << 10)
+    c.put("g", 0, query_key("bfs", {"src": 0}), _payload(10), 10)
+    c.put("g", 1, query_key("bfs", {"src": 1}), _payload(10), 10)
+    c.put("h", 0, query_key("bfs", {"src": 2}), _payload(10), 10)
+    dropped = c.invalidate_graph("g", keep_version=1)
+    assert dropped == 1
+    assert c.get("g", 1, query_key("bfs", {"src": 1})) is not None
+    assert c.get("h", 0, query_key("bfs", {"src": 2})) is not None
+    assert c.stats.invalidated == 1
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        ResultCache(-1)
+
+
+# -- through the service: a graph mutation must never serve stale ------------
+
+
+def test_service_version_bump_invalidates(kron_graph):
+    service = GraphService()
+    service.load_graph(kron_graph)
+    req = Request(rid=0, primitive="bfs", params={"src": 3})
+    service.validate(req)
+    assert service.lookup(req) is None
+
+    (batch,) = plan_batches("bfs", [(0, {"src": 3})])
+    service.run_batch("default", batch, Machine())
+    hit = service.lookup(req)
+    assert hit is not None
+    old_labels = hit.arrays["labels"].copy()
+
+    # mutate the graph (new weights = new topology version) and bump
+    mutated = with_random_weights(kron_graph, seed=99)
+    vg = service.update_graph(mutated)
+    assert vg.version == 1
+    assert service.lookup(req) is None  # same query, new version: a miss
+    assert service.cache.stats.stale_rejections == 0
+
+    # recompute against the new version; the old payload is untouched
+    service.run_batch("default", batch, Machine())
+    fresh = service.lookup(req)
+    assert fresh is not None
+    np.testing.assert_array_equal(fresh.arrays["labels"], old_labels)
+
+
+def test_replay_with_updates_has_zero_stale_hits(kron_graph):
+    spec = WorkloadSpec(requests=150, seed=13, updates=3,
+                        update_interval_ms=15.0)
+    report = run_serving(kron_graph, spec)
+    assert report.stale_hits == 0
+    assert report.cache["invalidated"] > 0  # the bumps actually swept
