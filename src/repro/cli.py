@@ -252,9 +252,21 @@ def cmd_run(args) -> int:
     src = args.src if args.src is not None else int(g.out_degrees.argmax())
     machine = Machine()
     ctx = sanitize(strict=True) if args.sanitize else nullcontext()
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
         with ctx:
-            result, summary = _run_primitive(args.primitive, g, src, machine)
+            if profiler is not None:
+                profiler.enable()
+            try:
+                result, summary = _run_primitive(args.primitive, g, src,
+                                                 machine)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
     except RaceError as err:
         for report in err.reports:
             print(report.format(), file=sys.stderr)
@@ -286,7 +298,18 @@ def cmd_run(args) -> int:
           f"{c.kernel_launches} kernels | {c.edges_visited:,} edges | "
           f"{c.atomics_issued:,} atomics | "
           f"{getattr(result, 'iterations', 0)} iterations")
+    if profiler is not None:
+        _print_profile(profiler)
     return 0
+
+
+def _print_profile(profiler) -> None:
+    """Top-20 functions by cumulative wall-clock time."""
+    import pstats
+
+    print("\n--- profile: top 20 by cumulative time ---")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(20)
 
 
 def cmd_serve(args) -> int:
@@ -381,6 +404,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable output: counters, timings, and "
                         "crc32 checksums of every result array")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and print the top 20 functions "
+                        "by cumulative wall-clock time")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(

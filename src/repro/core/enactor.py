@@ -102,6 +102,11 @@ class EnactorBase:
         self.idempotent_replay = False
         self._ops_this_step = 0
 
+    @property
+    def workspace(self):
+        """The problem's scratch arena (pooled or unpooled)."""
+        return self.problem.workspace
+
     # -- traced operator wrappers -------------------------------------------
 
     def advance(self, frontier: Frontier, functor: Functor, **kwargs) -> Frontier:

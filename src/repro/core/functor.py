@@ -52,6 +52,19 @@ class Functor:
         narrows which lanes' destinations enter the output frontier."""
         return None
 
+    #: Optional segment-aware variant of ``apply_edge`` used by the pooled
+    #: push advance when the functor declares no ``cond_edge`` (so lanes
+    #: are still grouped by source vertex).  Signature:
+    #: ``apply_edge_segmented(problem, frontier, degrees, dst, edge_id)``
+    #: where lane ``l`` belongs to ``frontier[i]`` for the ``i`` whose
+    #: degree run covers ``l`` — i.e. ``src == np.repeat(frontier,
+    #: degrees)``.  A functor whose per-lane work is a function of the
+    #: source vertex can compute it once per vertex and ``np.repeat`` the
+    #: results (bit-identical, since the same float ops run on the same
+    #: values), instead of paying gather + arithmetic per lane.  Must
+    #: return the same mask ``apply_edge`` would.
+    apply_edge_segmented = None
+
     # -- vertex-centric (filter / compute) -----------------------------------
 
     def cond_vertex(self, problem, v: np.ndarray) -> Optional[np.ndarray]:
@@ -67,27 +80,49 @@ class AllPassFunctor(Functor):
     """Pure traversal: no computation, everything admitted."""
 
 
+def _validate_mask(mask: np.ndarray, n_lanes: int, where: str) -> np.ndarray:
+    mask = np.asarray(mask)
+    if mask.dtype != np.bool_:
+        raise TypeError(
+            f"{where} returned a {mask.dtype} mask; cond/apply "
+            "lane masks must be boolean (use a comparison, not "
+            "raw values)")
+    if len(mask) != n_lanes:
+        raise ValueError(
+            f"{where} returned mask of length {len(mask)}, "
+            f"expected {n_lanes}")
+    return mask
+
+
 def resolve_masks(n_lanes: int, *masks: Optional[np.ndarray],
-                  where: str = "functor") -> np.ndarray:
+                  where: str = "functor", workspace=None) -> np.ndarray:
     """AND together optional lane masks (None == all-True).
 
     ``where`` names the functor method that produced the mask, so the
     errors point at the offending user code.  Non-boolean masks are
     rejected: an int mask would silently reinterpret arbitrary values as
     lane admission bits.
+
+    With a pooled ``workspace``, the no-mask case returns the workspace's
+    cached read-only all-True view and the single-mask case passes the
+    functor's mask straight through (callers treat the result as
+    read-only); only the multi-mask case touches scratch.  Values are
+    identical to the legacy allocate-and-AND path.
     """
+    if workspace is not None and workspace.pooled:
+        live = [_validate_mask(m, n_lanes, where)
+                for m in masks if m is not None]
+        if not live:
+            return workspace.true_mask(n_lanes)
+        if len(live) == 1:
+            return live[0]
+        out = workspace.take("resolve_masks", n_lanes, np.bool_)
+        np.copyto(out, live[0])
+        for mask in live[1:]:
+            np.logical_and(out, mask, out=out)
+        return out
     out = np.ones(n_lanes, dtype=bool)
     for mask in masks:
         if mask is not None:
-            mask = np.asarray(mask)
-            if mask.dtype != np.bool_:
-                raise TypeError(
-                    f"{where} returned a {mask.dtype} mask; cond/apply "
-                    "lane masks must be boolean (use a comparison, not "
-                    "raw values)")
-            if len(mask) != n_lanes:
-                raise ValueError(
-                    f"{where} returned mask of length {len(mask)}, "
-                    f"expected {n_lanes}")
-            out &= mask
+            out &= _validate_mask(mask, n_lanes, where)
     return out

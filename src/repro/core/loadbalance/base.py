@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
 from ...simt.machine import GPUSpec
+from ..workspace import pooling_enabled
 
 
 @dataclass
@@ -45,15 +47,36 @@ class LoadBalancer(ABC):
         return f"{type(self).__name__}()"
 
 
+#: reusable padding scratch per tile width (strategies consume the tiled
+#: view inside ``estimate`` before the next call can overwrite it)
+_pad_scratch: Dict[int, np.ndarray] = {}
+
+
 def pad_reshape(degrees: np.ndarray, tile: int) -> np.ndarray:
     """Pad a degree vector with zeros to a multiple of ``tile`` and reshape
     to ``(n_tiles, tile)`` — the vectorized form of 'assign a subset of the
-    frontier to a block'."""
+    frontier to a block'.
+
+    When pooling is enabled globally, the padded buffer is reused across
+    calls (zeroing only the pad tail); the returned view is valid until
+    the next ``pad_reshape`` with the same tile width.
+    """
     degrees = np.asarray(degrees, dtype=np.int64)
     n = len(degrees)
     if n == 0:
         return np.zeros((0, tile), dtype=np.int64)
     n_tiles = -(-n // tile)
-    padded = np.zeros(n_tiles * tile, dtype=np.int64)
+    size = n_tiles * tile
+    if pooling_enabled():
+        buf = _pad_scratch.get(tile)
+        if buf is None or len(buf) < size:
+            cap = max(size, 2 * len(buf) if buf is not None else size)
+            buf = np.empty(cap, dtype=np.int64)
+            _pad_scratch[tile] = buf
+        padded = buf[:size]
+        padded[:n] = degrees
+        padded[n:] = 0
+        return padded.reshape(n_tiles, tile)
+    padded = np.zeros(size, dtype=np.int64)
     padded[:n] = degrees
     return padded.reshape(n_tiles, tile)

@@ -34,8 +34,8 @@ def compute(problem: ProblemBase, frontier: Frontier, functor: Functor,
             else:
                 g = problem.graph
                 functor.apply_edge(problem,
-                                   g.edge_sources[items].astype(np.int64),
-                                   g.indices[items].astype(np.int64),
+                                   g.edge_sources[items],
+                                   g.indices[items],
                                    items)
     if machine is not None:
         machine.map_kernel("compute", len(items), calib.C_VERTEX,
@@ -51,7 +51,10 @@ def compute_masked(problem: ProblemBase, frontier: Frontier, functor: Functor,
     Handy for "compute the degree distribution"-style single steps that
     both transform state and shrink the frontier.
     """
+    from ..workspace import workspace_of
+
     machine = problem.machine
+    ws = workspace_of(problem)
     items = frontier.items
     if len(items) == 0:
         return frontier
@@ -60,17 +63,18 @@ def compute_masked(problem: ProblemBase, frontier: Frontier, functor: Functor,
         if frontier.kind is FrontierKind.VERTEX:
             mask = functor.apply_vertex(problem, items)
             keep = resolve_masks(len(items), mask,
-                                 where=f"{fname}.apply_vertex")
+                                 where=f"{fname}.apply_vertex", workspace=ws)
         else:
             g = problem.graph
             mask = functor.apply_edge(problem,
-                                      g.edge_sources[items].astype(np.int64),
-                                      g.indices[items].astype(np.int64),
+                                      g.edge_sources[items],
+                                      g.indices[items],
                                       items)
             keep = resolve_masks(len(items), mask,
-                                 where=f"{fname}.apply_edge")
+                                 where=f"{fname}.apply_edge", workspace=ws)
     if machine is not None:
         machine.map_kernel("compute", len(items), calib.C_VERTEX,
                            iteration=iteration)
         machine.counters.record_vertices(len(items))
-    return Frontier(items[keep], frontier.kind)
+    out = items if ws.pooled and ws.is_true_view(keep) else items[keep]
+    return Frontier(out, frontier.kind)

@@ -145,15 +145,24 @@ def filter_frontier(problem: ProblemBase, frontier: Frontier, functor: Functor,
 
 def _filter_body(problem, frontier, functor, heuristics, machine: Optional[Machine]):
     from ..frontier import FrontierKind
+    from ..workspace import workspace_of
 
+    ws = workspace_of(problem)
     items = frontier.items
     n = len(items)
     if n == 0:
         return Frontier.empty(frontier.kind)
 
-    keep = np.ones(n, dtype=bool)
+    # In pooled mode the heuristic masks (fresh arrays the culls own) are
+    # folded in place and the no-heuristics case defers entirely to
+    # resolve_masks' cached all-True view; unpooled keeps the legacy
+    # allocate-ones-then-AND sequence.  Values are identical.
+    keep = None if ws.pooled else np.ones(n, dtype=bool)
     if heuristics is not None and frontier.kind is FrontierKind.VERTEX:
-        keep &= heuristics.warp_cull(items)
+        if keep is None:
+            keep = heuristics.warp_cull(items)
+        else:
+            keep &= heuristics.warp_cull(items)
         keep &= heuristics.bitmask_cull(items, problem.graph.n)
         keep &= heuristics.history_cull(items)
         if machine is not None:
@@ -164,30 +173,42 @@ def _filter_body(problem, frontier, functor, heuristics, machine: Optional[Machi
     with kernel_scope("filter", problem, functor):
         if frontier.kind is FrontierKind.VERTEX:
             cond = functor.cond_vertex(problem, items)
-            keep &= resolve_masks(n, cond, where=f"{fname}.cond_vertex")
+            cmask = resolve_masks(n, cond, where=f"{fname}.cond_vertex",
+                                  workspace=ws)
         else:
             g = problem.graph
             cond = functor.cond_edge(problem,
-                                     g.edge_sources[items].astype(np.int64),
-                                     g.indices[items].astype(np.int64),
+                                     g.edge_sources[items],
+                                     g.indices[items],
                                      items)
-            keep &= resolve_masks(n, cond, where=f"{fname}.cond_edge")
+            cmask = resolve_masks(n, cond, where=f"{fname}.cond_edge",
+                                  workspace=ws)
+        if keep is None:
+            keep = cmask  # borrowed (possibly read-only) — never mutated
+        elif not (ws.pooled and ws.is_true_view(cmask)):
+            keep &= cmask
 
-        survivors = items[keep]
+        if ws.pooled and ws.is_true_view(keep):
+            survivors = items  # nothing culled: alias the immutable queue
+        else:
+            survivors = items[keep]
         if len(survivors):
             if frontier.kind is FrontierKind.VERTEX:
                 applied = functor.apply_vertex(problem, survivors)
                 mask2 = resolve_masks(len(survivors), applied,
-                                      where=f"{fname}.apply_vertex")
+                                      where=f"{fname}.apply_vertex",
+                                      workspace=ws)
             else:
                 g = problem.graph
                 applied = functor.apply_edge(problem,
-                                             g.edge_sources[survivors].astype(np.int64),
-                                             g.indices[survivors].astype(np.int64),
+                                             g.edge_sources[survivors],
+                                             g.indices[survivors],
                                              survivors)
                 mask2 = resolve_masks(len(survivors), applied,
-                                      where=f"{fname}.apply_edge")
-            survivors = survivors[mask2]
+                                      where=f"{fname}.apply_edge",
+                                      workspace=ws)
+            if not (ws.pooled and ws.is_true_view(mask2)):
+                survivors = survivors[mask2]
     if machine is not None:
         # the scan+scatter compaction pass over the input frontier
         machine.counters.compact_elements += n

@@ -19,6 +19,7 @@ from ...simt.primitives import segmented_reduce_sum
 from ..frontier import Frontier, FrontierKind
 from ..loadbalance import LoadBalancer, default_load_balancer
 from ..problem import ProblemBase
+from ..workspace import workspace_of
 from .advance import expand_push
 
 #: value accessor: (problem, srcs, dsts, eids) -> per-edge values
@@ -49,8 +50,13 @@ def neighbor_reduce(problem: ProblemBase, frontier: Frontier,
                        iteration=iteration)
         machine.counters.record_edges(len(eids))
 
+    ws = workspace_of(problem)
     n_seg = len(frontier.items)
-    offsets = np.zeros(n_seg + 1, dtype=np.int64)
+    if ws.pooled:
+        offsets = ws.take("nr_offsets", n_seg + 1, np.int64)
+        offsets[0] = 0
+    else:
+        offsets = np.zeros(n_seg + 1, dtype=np.int64)
     np.cumsum(degs, out=offsets[1:])
     if len(eids) == 0:
         values = np.zeros(0, dtype=np.float64)
@@ -66,7 +72,8 @@ def neighbor_reduce(problem: ProblemBase, frontier: Frontier,
         identity = np.inf if op == "min" else -np.inf
         out = np.full(n_seg, identity, dtype=np.float64)
         if len(values):
-            seg = np.repeat(np.arange(n_seg, dtype=np.int64), degs)
+            seg = np.repeat(ws.iota(n_seg) if ws.pooled
+                            else np.arange(n_seg, dtype=np.int64), degs)
             ufunc.at(out, seg, values)
         return out
     raise ValueError(f"unsupported reduction op {op!r}; use sum/min/max")

@@ -77,7 +77,7 @@ def from_scipy(mat) -> Csr:
     csr = mat.tocsr()
     if csr.shape[0] != csr.shape[1]:
         raise ValueError("adjacency matrix must be square")
-    return Csr(csr.indptr.astype(np.int64), csr.indices.astype(np.int32),
+    return Csr(csr.indptr.astype(np.int64), csr.indices.astype(np.int64),
                np.asarray(csr.data, dtype=np.float64), n=csr.shape[0])
 
 

@@ -16,8 +16,76 @@ from typing import Dict, Optional
 
 import numpy as np
 
-VERTEX_DT = np.int32
+# Topology is normalized to int64 at construction so the operator hot
+# paths (advance/filter/pull expansion) index directly into it without
+# paying an ``.astype(np.int64)`` copy per call.  ``tests/test_graph_csr``
+# pins this invariant.
+VERTEX_DT = np.int64
 EDGE_DT = np.int64
+
+
+class ArtifactCache:
+    """Memoized derived structures of one :class:`Csr`.
+
+    The per-graph companion of the per-problem
+    :class:`~repro.core.workspace.Workspace`: degree arrays, iota ramps,
+    and float64 weights that the operators and load balancers would
+    otherwise recompute every call.  All cached arrays are marked
+    read-only — they are shared across every problem on the graph.
+    """
+
+    __slots__ = ("_g", "_out_degrees", "_iota_n", "_iota_m", "_weights64")
+
+    def __init__(self, g: "Csr"):
+        self._g = g
+        self._out_degrees: Optional[np.ndarray] = None
+        self._iota_n: Optional[np.ndarray] = None
+        self._iota_m: Optional[np.ndarray] = None
+        self._weights64: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _frozen(arr: np.ndarray) -> np.ndarray:
+        arr.setflags(write=False)
+        return arr
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """``np.diff(indptr)`` computed once (read-only)."""
+        if self._out_degrees is None:
+            self._out_degrees = self._frozen(np.diff(self._g.indptr))
+        return self._out_degrees
+
+    @property
+    def degree_prefix(self) -> np.ndarray:
+        """Exclusive prefix sum of out-degrees — which is ``indptr``
+        itself; exposed under the load-balancer's name for it."""
+        return self._g.indptr
+
+    @property
+    def iota_n(self) -> np.ndarray:
+        """Read-only ``arange(n)`` — the all-vertices frontier ramp."""
+        if self._iota_n is None:
+            self._iota_n = self._frozen(np.arange(self._g.n, dtype=np.int64))
+        return self._iota_n
+
+    @property
+    def iota_m(self) -> np.ndarray:
+        """Read-only ``arange(m)`` — the all-edges lane ramp."""
+        if self._iota_m is None:
+            self._iota_m = self._frozen(np.arange(self._g.m, dtype=np.int64))
+        return self._iota_m
+
+    @property
+    def weights64(self) -> np.ndarray:
+        """Read-only float64 edge weights (ones when unweighted) —
+        the cached counterpart of :meth:`Csr.weight_or_ones`."""
+        if self._weights64 is None:
+            self._weights64 = self._frozen(self._g.weight_or_ones())
+        return self._weights64
+
+    @property
+    def edge_sources(self) -> np.ndarray:
+        return self._g.edge_sources
 
 
 class Csr:
@@ -36,7 +104,8 @@ class Csr:
     """
 
     __slots__ = ("indptr", "indices", "edge_values", "n", "m",
-                 "_csc", "_edge_sources", "vertex_props", "edge_props")
+                 "_csc", "_edge_sources", "_artifacts",
+                 "vertex_props", "edge_props")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray,
                  edge_values: Optional[np.ndarray] = None,
@@ -53,6 +122,7 @@ class Csr:
         self.edge_props: Dict[str, np.ndarray] = {}
         self._csc: Optional["Csr"] = None
         self._edge_sources: Optional[np.ndarray] = None
+        self._artifacts: Optional[ArtifactCache] = None
         if validate:
             self.validate()
 
@@ -77,13 +147,13 @@ class Csr:
 
     @property
     def out_degrees(self) -> np.ndarray:
-        """Out-degree of every vertex, shape ``(n,)``."""
-        return np.diff(self.indptr)
+        """Out-degree of every vertex, shape ``(n,)`` (cached, read-only)."""
+        return self.artifacts.out_degrees
 
     def degrees_of(self, vertices: np.ndarray) -> np.ndarray:
         """Out-degrees of a vertex id array (frontier degree lookup)."""
         v = np.asarray(vertices, dtype=np.int64)
-        return (self.indptr[v + 1] - self.indptr[v]).astype(np.int64)
+        return self.indptr[v + 1] - self.indptr[v]
 
     def neighbors(self, v: int) -> np.ndarray:
         """Read-only view of vertex ``v``'s neighbor list."""
@@ -100,6 +170,13 @@ class Csr:
         return np.asarray(self.edge_values, dtype=np.float64)
 
     # -- derived structures (cached) ------------------------------------------
+
+    @property
+    def artifacts(self) -> "ArtifactCache":
+        """Memoized derived arrays (degrees, iota ramps, weights)."""
+        if self._artifacts is None:
+            self._artifacts = ArtifactCache(self)
+        return self._artifacts
 
     @property
     def edge_sources(self) -> np.ndarray:

@@ -65,6 +65,11 @@ class BfsProblem(ProblemBase):
         self.num_unvisited = self.graph.n - 1
 
     def unvisited_mask(self) -> np.ndarray:
+        ws = self.workspace
+        if ws.pooled:
+            out = ws.take("unvisited_mask", self.graph.n, np.bool_)
+            np.less(self.labels, 0, out=out)
+            return out
         return self.labels < 0
 
     def snapshot_state(self) -> dict:
@@ -140,9 +145,30 @@ class BfsEnactor(EnactorBase):
         mode = self.direction.choose(P.graph, len(frontier), frontier_edges,
                                      P.num_unvisited)
         out = self.advance(frontier, fn, mode=mode)
+        # Track the unvisited count for the direction policy.  The pooled
+        # variant is incremental when the advance output is small: that
+        # output is exactly the set of vertices labeled this super-step
+        # (cond admits only unvisited destinations, so no vertex is
+        # labeled twice across iterations), hence subtracting its distinct
+        # count gives the same integer as the legacy O(n) relabel scan —
+        # without touching all of V on every one of a road graph's
+        # hundreds of shallow iterations.  For outputs comparable to n
+        # (idempotent advance can emit ~|E| duplicate lanes on scale-free
+        # graphs) the dedup would cost more than the scan, so recount into
+        # borrowed scratch instead.
+        ws = P.workspace
+        if ws.pooled:
+            k = len(out)
+            if k:
+                if k < P.graph.n // 8:
+                    P.num_unvisited -= len(np.unique(out.items))
+                else:
+                    mask = ws.take("unvisited_mask", P.graph.n, np.bool_)
+                    np.less(P.labels, 0, out=mask)
+                    P.num_unvisited = int(np.count_nonzero(mask))
         out = self.filter(out, fn, heuristics=self.heuristics)
-        # track the unvisited count incrementally for the direction policy
-        P.num_unvisited = int((P.labels < 0).sum())
+        if not ws.pooled:
+            P.num_unvisited = int((P.labels < 0).sum())
         return out
 
 

@@ -57,6 +57,17 @@ class _DistributeFunctor(Functor):
     """advance: scatter ``damping * residual/degree`` along out-edges."""
 
     def apply_edge(self, P, src, dst, eid):
+        ws = P.workspace
+        if ws.pooled:
+            # same arithmetic, folded in place on the gathered values
+            # (float multiply is commutative bitwise), and the constant
+            # admit-nothing mask comes from the pool instead of a fresh
+            # zeroed m-sized array every iteration
+            vals = P.residual[src]
+            np.multiply(vals, P.damping, out=vals)
+            np.divide(vals, P.degrees[src], out=vals)
+            atomics.atomic_add(P.residual_next, dst, vals, P.machine)
+            return ws.false_mask(len(src))
         atomics.atomic_add(P.residual_next, dst,
                            P.damping * P.residual[src] / P.degrees[src],
                            P.machine)
@@ -64,11 +75,39 @@ class _DistributeFunctor(Functor):
         # frontier is re-derived by the filter over all vertices
         return np.zeros(len(src), dtype=bool)
 
+    def apply_edge_segmented(self, P, f, degs, dst, eid):
+        # the scattered value is a function of the source vertex alone,
+        # so compute damping * residual / degree once per frontier vertex
+        # and repeat it across that vertex's edge lanes — the same float
+        # ops on the same values as the per-lane path, minus the m-sized
+        # gathers and arithmetic passes
+        ws = P.workspace
+        contrib = P.residual[f]
+        np.multiply(contrib, P.damping, out=contrib)
+        np.divide(contrib, P.degrees[f], out=contrib)
+        vals = np.repeat(contrib, degs)
+        atomics.atomic_add(P.residual_next, dst, vals, P.machine)
+        return ws.false_mask(len(dst))
+
 
 class _CommitFunctor(Functor):
     """filter: fold received residual into rank; keep unconverged."""
 
     def apply_vertex(self, P, v):
+        from ..analysis.sanitizer import current_sanitizer
+
+        ws = P.workspace
+        if ws.pooled and current_sanitizer() is None \
+                and v is P.graph.artifacts.iota_n:
+            # the all-vertices commit is a straight elementwise pass —
+            # identical values to the fancy-indexed path below, minus
+            # the gather/scatter copies.  (Disabled under the sanitizer,
+            # which must observe routed per-cell writes.)
+            res = P.residual_next.copy()
+            np.add(P.rank, res, out=P.rank)
+            np.copyto(P.residual, res)
+            P.residual_next.fill(0.0)
+            return res > P.tolerance
         # filter lanes are unique vertex ids: no two lanes share a cell
         res = P.residual_next[v]
         P.rank[v] += res  # lint: allow(raw-write)
@@ -88,9 +127,21 @@ class PagerankEnactor(EnactorBase):
 
     def _iterate(self, frontier: Frontier) -> Frontier:
         self.advance(frontier, _DistributeFunctor())
-        out = self.filter(Frontier.all_vertices(self.problem.graph.n),
-                          _CommitFunctor())
+        out = self.filter(self._all_vertices(), _CommitFunctor())
         return out
+
+    def _all_vertices(self) -> Frontier:
+        """The per-iteration full-range filter frontier.
+
+        Pooled mode wraps the graph's cached read-only iota ramp (no
+        fresh ``arange(n)`` per super-step, and the identity lets the
+        operators take their all-vertices fast paths); unpooled keeps the
+        legacy fresh allocation.
+        """
+        P = self.problem
+        if P.workspace.pooled:
+            return Frontier(P.graph.artifacts.iota_n)
+        return Frontier.all_vertices(P.graph.n)
 
 
 class GatherPagerankEnactor(EnactorBase):
@@ -114,8 +165,10 @@ class GatherPagerankEnactor(EnactorBase):
         class _View:
             graph = rev
             machine = P.machine
+            workspace = P.workspace
 
-        all_v = Frontier.all_vertices(g.n)
+        all_v = Frontier(rev.artifacts.iota_n) if P.workspace.pooled \
+            else Frontier.all_vertices(g.n)
         gathered = neighbor_reduce(
             _View(), all_v,
             lambda _, s, d, e: P.damping * P.residual[d] / P.degrees[d],

@@ -164,8 +164,25 @@ def sort_pairs(keys: np.ndarray, values: np.ndarray,
 
 
 def unique_by_sort(keys: np.ndarray, machine: Optional[Machine] = None) -> np.ndarray:
-    """Deduplicate via sort + adjacent-difference compaction."""
+    """Deduplicate via sort + adjacent-difference compaction.
+
+    With pooling enabled globally, dense nonnegative id sets take a
+    scatter-and-compact path (mark a bitmap, ``flatnonzero`` it) instead
+    of hashing — the output is the same sorted unique array, and the
+    simulated charge is identical."""
     keys = np.asarray(keys)
-    out = np.unique(keys)
+    # runtime import: simt is a lower layer than core, so the pooling
+    # switch is looked up lazily to keep module import acyclic
+    from ..core.workspace import pooling_enabled
+
+    out = None
+    if pooling_enabled() and keys.dtype == np.int64 and len(keys) > 32:
+        hi = int(keys.max()) + 1
+        if int(keys.min()) >= 0 and hi <= 4 * len(keys):
+            seen = np.zeros(hi, dtype=bool)
+            seen[keys] = True
+            out = np.flatnonzero(seen)
+    if out is None:
+        out = np.unique(keys)
     _charge(machine, "unique", len(keys), 14.0)
     return out

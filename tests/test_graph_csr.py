@@ -197,3 +197,53 @@ def test_to_csr_sorted_neighbors():
     coo = Coo(np.array([0, 0, 0]), np.array([3, 1, 2]), 4)
     g = coo.to_csr()
     assert list(g.neighbors(0)) == [1, 2, 3]
+
+
+# -- topology dtype invariant + artifact cache -------------------------------------------
+
+
+def test_topology_int64_at_construction():
+    """Topology arrays are int64 from the moment the Csr is built, so the
+    operator layer never pays an ``astype`` widening copy per call."""
+    g = from_edges([(0, 1), (0, 2), (1, 2)], n=3)
+    assert g.indptr.dtype == np.int64
+    assert g.indices.dtype == np.int64
+
+
+def test_degrees_of_int64_no_copy_semantics():
+    g = from_edges([(0, 1), (0, 2), (1, 2), (2, 0)], n=3)
+    d = g.degrees_of(np.array([0, 1, 2], dtype=np.int64))
+    assert d.dtype == np.int64
+    assert d.tolist() == [2, 1, 1]
+
+
+def test_derived_views_int64():
+    g = from_edges([(0, 1), (1, 2)], n=3, undirected=True)
+    assert g.csc.indices.dtype == np.int64
+    assert g.csc.indptr.dtype == np.int64
+
+
+def test_artifact_cache_memoizes_and_freezes():
+    g = from_edges([(0, 1), (0, 2), (1, 2)], n=3)
+    art = g.artifacts
+    assert art.out_degrees is g.artifacts.out_degrees  # memoized
+    assert not art.out_degrees.flags.writeable
+    assert not art.iota_n.flags.writeable
+    assert np.array_equal(art.iota_n, np.arange(3))
+    assert np.array_equal(art.iota_m, np.arange(3))
+    assert np.array_equal(art.out_degrees, [2, 1, 0])
+
+
+def test_artifact_edge_sources_matches_expansion():
+    g = from_edges([(0, 1), (0, 2), (1, 2)], n=3)
+    art = g.artifacts
+    assert np.array_equal(art.edge_sources,
+                          np.repeat(np.arange(3), np.diff(g.indptr)))
+
+
+def test_artifact_weights64_matches_weight_or_ones():
+    g = with_random_weights(from_edges([(0, 1), (1, 2)], n=3), seed=7)
+    art = g.artifacts
+    assert art.weights64.dtype == np.float64
+    assert not art.weights64.flags.writeable
+    assert np.array_equal(art.weights64, g.weight_or_ones())

@@ -314,3 +314,87 @@ def test_bfs_recovery_identical_under_random_faults(data, src, fault_seed):
         steps=max(1, ref.iterations - 1))
     r = bfs(g, src, machine=Machine(), checkpoint_every=1, faults=plan)
     assert np.array_equal(r.labels, ref.labels)
+
+
+# -- pooled vs unpooled identity -----------------------------------------------------------
+
+
+def _counter_signature(machine):
+    return [(k.name, k.cycles, k.items, k.iteration)
+            for k in machine.counters.kernels]
+
+
+def _run_both_modes(run):
+    """Run a primitive with pooling on and off; return both (result,
+    machine) pairs."""
+    from repro.core.workspace import pooling
+    from repro.simt import Machine
+
+    out = {}
+    for mode in (True, False):
+        with pooling(mode):
+            machine = Machine()
+            out[mode] = (run(machine), machine)
+    return out[True], out[False]
+
+
+def _assert_bitwise_identical(pooled, unpooled):
+    (rp, mp), (ru, mu) = pooled, unpooled
+    for key in ru.arrays:
+        assert rp.arrays[key].dtype == ru.arrays[key].dtype
+        assert np.array_equal(rp.arrays[key], ru.arrays[key]), key
+    assert _counter_signature(mp) == _counter_signature(mu)
+    assert mp.counters.cycles == mu.counters.cycles
+
+
+@given(edge_lists(max_n=24, max_m=90), st.integers(0, 23),
+       st.sampled_from(["auto", "push", "pull"]), st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_bfs_pooled_unpooled_identical(data, src, direction, idempotent):
+    """Pooling invariant: identical output arrays AND identical simulated
+    cycle counters, for every BFS configuration."""
+    from repro.primitives import bfs
+
+    n, edges = data
+    src = src % n
+    g = from_edges(edges, n=n, undirected=True) if edges else from_edges([], n=n)
+    _assert_bitwise_identical(*_run_both_modes(
+        lambda m: bfs(g, src, machine=m, direction=direction,
+                      idempotent=idempotent)))
+
+
+@given(edge_lists(max_n=20, max_m=70), st.integers(0, 19),
+       st.integers(0, 2**16), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_sssp_pooled_unpooled_identical(data, src, wseed, use_pq):
+    from repro.graph.build import with_random_weights
+    from repro.primitives import sssp
+
+    n, edges = data
+    src = src % n
+    g = from_edges(edges, n=n, undirected=True) if edges else from_edges([], n=n)
+    g = with_random_weights(g, seed=wseed)
+    _assert_bitwise_identical(*_run_both_modes(
+        lambda m: sssp(g, src, machine=m, use_priority_queue=use_pq)))
+
+
+@given(edge_lists(max_n=20, max_m=70), st.integers(1, 30))
+@settings(max_examples=20, deadline=None)
+def test_pagerank_pooled_unpooled_identical(data, max_iter):
+    from repro.primitives import pagerank
+
+    n, edges = data
+    g = from_edges(edges, n=n, undirected=True) if edges else from_edges([], n=n)
+    _assert_bitwise_identical(*_run_both_modes(
+        lambda m: pagerank(g, machine=m, max_iterations=max_iter)))
+
+
+@given(edge_lists(max_n=18, max_m=60), st.integers(1, 12))
+@settings(max_examples=15, deadline=None)
+def test_pagerank_gather_pooled_unpooled_identical(data, max_iter):
+    from repro.primitives import pagerank_gather
+
+    n, edges = data
+    g = from_edges(edges, n=n, undirected=True) if edges else from_edges([], n=n)
+    _assert_bitwise_identical(*_run_both_modes(
+        lambda m: pagerank_gather(g, machine=m, max_iterations=max_iter)))
