@@ -93,6 +93,15 @@ def _write_file(g: Csr, path: str) -> None:
         io.write_edgelist(g, path)
 
 
+def _add_obs_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome-trace/Perfetto JSON of every span "
+                        "(kernels, operators, super-steps) to PATH")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write a Prometheus-style text dump of the metrics "
+                        "registry to PATH")
+
+
 def _add_graph_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("graph", nargs="?", help="graph file (.mtx/.gr/edge list)")
     p.add_argument("--dataset", choices=sorted(datasets.REGISTRY),
@@ -242,6 +251,35 @@ def _result_arrays(result) -> dict:
     return out
 
 
+def _obs_context(args):
+    """``observe()`` when ``--trace``/``--metrics`` asked for it, else a
+    no-op context (the disabled path: spans stay NOOP_SPAN)."""
+    from contextlib import nullcontext
+
+    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+        from .obs import observe
+
+        return observe()
+    return nullcontext()
+
+
+def _export_obs(args, observer, extra=None) -> None:
+    """Write the requested trace/metrics files; notices go to stderr so
+    ``--json`` stdout stays machine-parseable."""
+    if observer is None:
+        return
+    from .obs import write_chrome_trace, write_metrics
+
+    if getattr(args, "trace", None):
+        write_chrome_trace(observer, args.trace, other_data=extra)
+        print(f"trace: wrote {len(observer.tracer.spans)} spans to "
+              f"{args.trace}", file=sys.stderr)
+    if getattr(args, "metrics", None):
+        write_metrics(observer.metrics, args.metrics)
+        print(f"metrics: wrote {len(observer.metrics)} series to "
+              f"{args.metrics}", file=sys.stderr)
+
+
 def cmd_run(args) -> int:
     import json
 
@@ -258,7 +296,7 @@ def cmd_run(args) -> int:
 
         profiler = cProfile.Profile()
     try:
-        with ctx:
+        with _obs_context(args) as observer, ctx:
             if profiler is not None:
                 profiler.enable()
             try:
@@ -273,6 +311,7 @@ def cmd_run(args) -> int:
         print(f"sanitize: {len(err.reports)} race report(s)", file=sys.stderr)
         return 1
     c = machine.counters
+    _export_obs(args, observer, extra={"counters": c.as_dict()})
     if getattr(args, "json", False):
         elapsed = machine.elapsed_ms()
         payload = {
@@ -327,12 +366,14 @@ def cmd_serve(args) -> int:
         think_ms=args.think_ms, zipf_s=args.zipf,
         deadline_scale=args.deadline_scale,
         updates=args.updates, update_interval_ms=args.update_interval)
-    report = run_serving(
-        g, spec, devices=args.devices, max_queue=args.max_queue,
-        batch_window_ms=args.window, max_lanes=args.max_lanes,
-        cache_bytes=args.cache_mb << 20,
-        retry=RetryPolicy(max_retries=args.max_retries),
-        fault_rate=args.fault_rate)
+    with _obs_context(args) as observer:
+        report = run_serving(
+            g, spec, devices=args.devices, max_queue=args.max_queue,
+            batch_window_ms=args.window, max_lanes=args.max_lanes,
+            cache_bytes=args.cache_mb << 20,
+            retry=RetryPolicy(max_retries=args.max_retries),
+            fault_rate=args.fault_rate)
+    _export_obs(args, observer, extra={"report": report.as_dict()})
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
@@ -407,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="run under cProfile and print the top 20 functions "
                         "by cumulative wall-clock time")
+    _add_obs_options(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -446,6 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retry budget for transient serving faults")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
+    _add_obs_options(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("compare", help="run one primitive on every framework")

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..analysis.sanitizer import Sanitizer, current_sanitizer, sanitize
+from ..obs.spans import (CAT_PRIMITIVE, CAT_RECOVERY, CAT_SUPERSTEP,
+                         instant as obs_instant, span as obs_span)
 from ..resilience.checkpoint import CheckpointStore
 from ..resilience.faults import (DataCorruptionFault, FaultError,
                                  TransientKernelFault, as_injector)
@@ -107,6 +109,14 @@ class EnactorBase:
         """The problem's scratch arena (pooled or unpooled)."""
         return self.problem.workspace
 
+    @property
+    def primitive_name(self) -> str:
+        """Observability identity: ``BfsEnactor`` -> ``bfs`` (DESIGN §11)."""
+        name = type(self).__name__
+        if name.endswith("Enactor"):
+            name = name[: -len("Enactor")]
+        return name.lower() or "enactor"
+
     # -- traced operator wrappers -------------------------------------------
 
     def advance(self, frontier: Frontier, functor: Functor, **kwargs) -> Frontier:
@@ -178,7 +188,13 @@ class EnactorBase:
         with ctx:
             self.sanitizer = current_sanitizer()
             self.iteration = 0
-            frontier = self._enact_loop(frontier)
+            g = self.problem.graph
+            sp = obs_span(self.primitive_name, CAT_PRIMITIVE,
+                          self.problem.machine,
+                          primitive=self.primitive_name, n=g.n, m=g.m)
+            with sp:
+                frontier = self._enact_loop(frontier)
+                sp.set(iterations=self.iteration)
             self.stats.iterations = self.iteration
         return frontier
 
@@ -190,8 +206,12 @@ class EnactorBase:
                 break
             self._maybe_checkpoint(frontier)
             self._ops_this_step = 0
+            sp = obs_span("superstep", CAT_SUPERSTEP, self.problem.machine,
+                          iteration=self.iteration, frontier=len(frontier))
             try:
-                frontier = self._iterate(frontier)
+                with sp:
+                    frontier = self._iterate(frontier)
+                    sp.set(frontier_out=len(frontier))
             except (TransientKernelFault, DataCorruptionFault) as fault:
                 consecutive_failures += 1
                 if consecutive_failures > self.retry.max_retries:
@@ -235,10 +255,16 @@ class EnactorBase:
             # restore-free replay of the same super-step
             st.replayed_supersteps += 1
             st.faults_recovered += 1
+            obs_instant("recovery.replay_in_place", CAT_RECOVERY,
+                        self.problem.machine, iteration=self.iteration,
+                        kind=fault.kind.value, attempt=attempt)
             return frontier
         if self.checkpoints is None or self.checkpoints.latest() is None:
             raise fault
         ck = self.checkpoints.restore()
+        obs_instant("recovery.rollback", CAT_RECOVERY, self.problem.machine,
+                    iteration=self.iteration, kind=fault.kind.value,
+                    attempt=attempt, to_iteration=ck.iteration)
         self.problem.restore_state(dict(ck.extra.get("problem", {})))
         self._restore_state(dict(ck.extra.get("enactor", {})))
         st.rollbacks += 1

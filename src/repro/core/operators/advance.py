@@ -34,6 +34,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ...analysis.sanitizer import kernel_scope
+from ...obs.spans import CAT_OPERATOR, span as obs_span
 from ...simt import calib
 from ..frontier import Frontier, FrontierKind
 from ..functor import Functor, resolve_masks
@@ -182,18 +183,29 @@ def advance(problem: ProblemBase, frontier: Frontier, functor: Functor,
     """
     output_kind = FrontierKind(output_kind)
     lb = lb if lb is not None else default_load_balancer()
-    if mode == "push":
-        out = _advance_push(problem, frontier, functor, output_kind, lb, iteration)
-    elif mode == "pull":
-        if output_kind is not FrontierKind.VERTEX:
-            raise ValueError("pull-based advance produces vertex frontiers")
-        out = _advance_pull(problem, frontier, functor, lb, iteration)
-    else:
-        raise ValueError(f"unknown advance mode {mode!r}")
-    if dedupe_output:
-        out = out.deduplicated(problem.machine)
-    if problem.machine is not None:
-        problem.machine.counters.record_frontier(len(out))
+    machine = problem.machine
+    sp = obs_span("advance", CAT_OPERATOR, machine, mode=mode, lb=lb.name,
+                  iteration=iteration, frontier=len(frontier))
+    with sp:
+        edges_before = machine.counters.edges_visited \
+            if sp.enabled and machine is not None else 0
+        if mode == "push":
+            out = _advance_push(problem, frontier, functor, output_kind, lb,
+                                iteration)
+        elif mode == "pull":
+            if output_kind is not FrontierKind.VERTEX:
+                raise ValueError("pull-based advance produces vertex frontiers")
+            out = _advance_pull(problem, frontier, functor, lb, iteration)
+        else:
+            raise ValueError(f"unknown advance mode {mode!r}")
+        if dedupe_output:
+            out = out.deduplicated(machine)
+        if machine is not None:
+            machine.counters.record_frontier(len(out))
+            if sp.enabled:
+                sp.set(edges=machine.counters.edges_visited - edges_before)
+        if sp.enabled:
+            sp.set(frontier_out=len(out))
     return out
 
 

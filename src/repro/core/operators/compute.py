@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...analysis.sanitizer import kernel_scope
+from ...obs.spans import CAT_OPERATOR, span as obs_span
 from ...simt import calib
 from ..frontier import Frontier, FrontierKind
 from ..functor import Functor, resolve_masks
@@ -27,20 +28,23 @@ def compute(problem: ProblemBase, frontier: Frontier, functor: Functor,
     """
     machine = problem.machine
     items = frontier.items
-    if len(items):
-        with kernel_scope("compute", problem, functor):
-            if frontier.kind is FrontierKind.VERTEX:
-                functor.apply_vertex(problem, items)
-            else:
-                g = problem.graph
-                functor.apply_edge(problem,
-                                   g.edge_sources[items],
-                                   g.indices[items],
-                                   items)
-    if machine is not None:
-        machine.map_kernel("compute", len(items), calib.C_VERTEX,
-                           iteration=iteration)
-        machine.counters.record_vertices(len(items))
+    sp = obs_span("compute", CAT_OPERATOR, machine, iteration=iteration,
+                  frontier=len(items))
+    with sp:
+        if len(items):
+            with kernel_scope("compute", problem, functor):
+                if frontier.kind is FrontierKind.VERTEX:
+                    functor.apply_vertex(problem, items)
+                else:
+                    g = problem.graph
+                    functor.apply_edge(problem,
+                                       g.edge_sources[items],
+                                       g.indices[items],
+                                       items)
+        if machine is not None:
+            machine.map_kernel("compute", len(items), calib.C_VERTEX,
+                               iteration=iteration)
+            machine.counters.record_vertices(len(items))
     return frontier
 
 
@@ -59,22 +63,29 @@ def compute_masked(problem: ProblemBase, frontier: Frontier, functor: Functor,
     if len(items) == 0:
         return frontier
     fname = type(functor).__name__
-    with kernel_scope("compute", problem, functor):
-        if frontier.kind is FrontierKind.VERTEX:
-            mask = functor.apply_vertex(problem, items)
-            keep = resolve_masks(len(items), mask,
-                                 where=f"{fname}.apply_vertex", workspace=ws)
-        else:
-            g = problem.graph
-            mask = functor.apply_edge(problem,
-                                      g.edge_sources[items],
-                                      g.indices[items],
-                                      items)
-            keep = resolve_masks(len(items), mask,
-                                 where=f"{fname}.apply_edge", workspace=ws)
-    if machine is not None:
-        machine.map_kernel("compute", len(items), calib.C_VERTEX,
-                           iteration=iteration)
-        machine.counters.record_vertices(len(items))
-    out = items if ws.pooled and ws.is_true_view(keep) else items[keep]
+    sp = obs_span("compute", CAT_OPERATOR, machine, iteration=iteration,
+                  frontier=len(items))
+    with sp:
+        with kernel_scope("compute", problem, functor):
+            if frontier.kind is FrontierKind.VERTEX:
+                mask = functor.apply_vertex(problem, items)
+                keep = resolve_masks(len(items), mask,
+                                     where=f"{fname}.apply_vertex",
+                                     workspace=ws)
+            else:
+                g = problem.graph
+                mask = functor.apply_edge(problem,
+                                          g.edge_sources[items],
+                                          g.indices[items],
+                                          items)
+                keep = resolve_masks(len(items), mask,
+                                     where=f"{fname}.apply_edge",
+                                     workspace=ws)
+        if machine is not None:
+            machine.map_kernel("compute", len(items), calib.C_VERTEX,
+                               iteration=iteration)
+            machine.counters.record_vertices(len(items))
+        out = items if ws.pooled and ws.is_true_view(keep) else items[keep]
+        if sp.enabled:
+            sp.set(frontier_out=len(out))
     return Frontier(out, frontier.kind)

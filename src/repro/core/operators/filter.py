@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from ...analysis.sanitizer import kernel_scope
+from ...obs.spans import CAT_OPERATOR, span as obs_span
 from ...simt import calib
 from ...simt.machine import Machine
 from ..frontier import Frontier
@@ -133,13 +134,19 @@ def filter_frontier(problem: ProblemBase, frontier: Frontier, functor: Functor,
     machine = problem.machine
     items = frontier.items
     n = len(items)
-    ctx = machine.fused("filter", iteration) if machine else None
-    if ctx is None:
-        return _filter_body(problem, frontier, functor, heuristics, machine)
-    with ctx:
-        out = _filter_body(problem, frontier, functor, heuristics, machine)
-    machine.counters.record_frontier(len(out))
-    machine.counters.record_vertices(n)
+    sp = obs_span("filter", CAT_OPERATOR, machine, iteration=iteration,
+                  frontier=n)
+    with sp:
+        if machine is None:
+            out = _filter_body(problem, frontier, functor, heuristics, machine)
+        else:
+            with machine.fused("filter", iteration):
+                out = _filter_body(problem, frontier, functor, heuristics,
+                                   machine)
+            machine.counters.record_frontier(len(out))
+            machine.counters.record_vertices(n)
+        if sp.enabled:
+            sp.set(frontier_out=len(out))
     return out
 
 

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ...obs.spans import CAT_OPERATOR, span as obs_span
 from ...simt import calib
 from ...simt.primitives import segmented_reduce_sum
 from ..frontier import Frontier, FrontierKind
@@ -40,8 +41,19 @@ def neighbor_reduce(problem: ProblemBase, frontier: Frontier,
         raise ValueError("neighbor_reduce expects a vertex frontier")
     lb = lb if lb is not None else default_load_balancer()
     machine = problem.machine
+    with obs_span("neighbor_reduce", CAT_OPERATOR, machine, op=op,
+                  lb=lb.name, iteration=iteration,
+                  frontier=len(frontier)) as sp:
+        out = _neighbor_reduce_body(problem, frontier, value_fn, op, lb,
+                                    iteration, machine, sp)
+    return out
 
+
+def _neighbor_reduce_body(problem, frontier, value_fn, op, lb, iteration,
+                          machine, sp):
     srcs, dsts, eids, degs = expand_push(problem, frontier.items)
+    if sp.enabled:
+        sp.set(edges=len(eids))
     if machine is not None:
         per_edge = calib.C_EDGE + calib.C_SCAN_PER_ELEM  # gather + tree reduce
         est = lb.estimate(degs, machine.spec, per_edge, calib.C_VERTEX)

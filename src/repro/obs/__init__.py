@@ -1,0 +1,46 @@
+"""Unified observability: metrics registry, span tracing, exporters.
+
+This package replaces three partial ad-hoc mechanisms — the raw
+per-kernel lists in :mod:`repro.simt.counters`, the Figure-5-only
+operator flows in :mod:`repro.harness.tracing`, and the hand-rolled
+latency fields of ``ServeReport`` — with one structured layer:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  (counters, gauges, deterministic fixed-bucket histograms) that
+  serializes byte-identically for same-seed runs;
+* :mod:`repro.obs.spans` — span tracing over *simulated* time: every
+  enactor super-step and every fused advance/filter/compute/
+  neighbor_reduce kernel opens a span carrying primitive, iteration,
+  operator, load-balance strategy, frontier size, edges touched, and
+  simulated cycles; recovery events become instant events; the
+  disabled path (no observer installed) is a shared no-op span;
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON
+  (``repro run bfs --trace out.json``) and Prometheus-style text dumps.
+
+Span taxonomy, metric naming, and the disabled-path overhead contract
+are documented in DESIGN §11.
+"""
+
+from __future__ import annotations
+
+from .export import (REQUIRED_EVENT_KEYS, chrome_trace, metrics_dump,
+                     validate_chrome_trace, write_chrome_trace, write_metrics)
+from .metrics import (DEFAULT_LATENCY_BUCKETS_MS, DEFAULT_SIZE_BUCKETS,
+                      Counter, Gauge, Histogram, MetricsRegistry)
+from .spans import (CAT_KERNEL, CAT_OPERATOR, CAT_PRIMITIVE, CAT_RECOVERY,
+                    CAT_SERVE, CAT_SUPERSTEP, NOOP_SPAN, InstantRecord,
+                    Observer, Span, SpanRecord, Tracer, current_observer,
+                    install, instant, is_enabled, metrics, notify_kernel,
+                    observe, span)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS", "DEFAULT_SIZE_BUCKETS",
+    "Observer", "Span", "SpanRecord", "InstantRecord", "Tracer",
+    "NOOP_SPAN", "CAT_PRIMITIVE", "CAT_SUPERSTEP", "CAT_OPERATOR",
+    "CAT_KERNEL", "CAT_SERVE", "CAT_RECOVERY",
+    "observe", "install", "current_observer", "is_enabled", "span",
+    "instant", "notify_kernel", "metrics",
+    "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "metrics_dump", "write_metrics", "REQUIRED_EVENT_KEYS",
+]

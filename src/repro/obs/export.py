@@ -1,0 +1,131 @@
+"""Exporters: Chrome-trace/Perfetto JSON and Prometheus text dumps.
+
+``chrome_trace(observer)`` renders the tracer's spans in the Chrome
+Trace Event Format (the JSON ``chrome://tracing`` / Perfetto / Speedscope
+all read): one ``"X"`` complete event per span, one ``"i"`` instant event
+per recovery/fault point, plus ``"M"`` metadata events naming the
+simulated devices.  Timestamps are simulated cycles converted to
+microseconds of simulated GPU time at the configured clock, so the
+rendered timeline *is* the cost model's timeline.
+
+Everything serializes with sorted keys and no wall-clock or id fields:
+two same-seed runs produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .spans import Observer
+
+#: Chrome trace event keys every exported span event carries
+REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def _cycles_to_us(cycles: float, clock_ghz: float) -> float:
+    return cycles / (clock_ghz * 1e3)
+
+
+def chrome_trace(observer: Observer, *, clock_ghz: Optional[float] = None,
+                 other_data: Optional[Dict[str, object]] = None) -> Dict:
+    """The observer's tracer as a Chrome Trace Event Format object."""
+    if clock_ghz is None:
+        # deferred import: obs must stay importable from inside simt
+        from ..simt import calib
+
+        clock_ghz = calib.GPU_CLOCK_GHZ
+    tracer = observer.tracer
+    if tracer is None:
+        raise ValueError("observer was created with trace=False")
+    events: List[Dict[str, object]] = []
+    devices = sorted({s.device for s in tracer.spans}
+                     | {i.device for i in tracer.instants} | {0})
+    events.append({"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+                   "args": {"name": "repro (simulated GPU time)"}})
+    for dev in devices:
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": dev, "args": {"name": f"device {dev}"}})
+    for s in tracer.spans:
+        events.append({
+            "name": s.name, "cat": s.cat, "ph": "X",
+            "ts": round(_cycles_to_us(s.ts, clock_ghz), 6),
+            "dur": round(_cycles_to_us(s.dur, clock_ghz), 6),
+            "pid": 0, "tid": s.device, "args": s.args,
+        })
+    for i in tracer.instants:
+        events.append({
+            "name": i.name, "cat": i.cat, "ph": "i", "s": "t",
+            "ts": round(_cycles_to_us(i.ts, clock_ghz), 6),
+            "pid": 0, "tid": i.device, "args": i.args,
+        })
+    out: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock_ghz": clock_ghz,
+            "kernel_spans": len(tracer.kernel_spans()),
+            "spans": len(tracer.spans),
+            "instants": len(tracer.instants),
+        },
+    }
+    if other_data:
+        out["otherData"].update(other_data)  # type: ignore[union-attr]
+    return out
+
+
+def write_chrome_trace(observer: Observer, path: str, **kwargs) -> Dict:
+    """Serialize :func:`chrome_trace` to ``path``; returns the object."""
+    doc = chrome_trace(observer, **kwargs)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def validate_chrome_trace(doc: Dict) -> List[str]:
+    """Schema check for an exported trace; returns a list of problems.
+
+    Used by the CI trace-smoke step and the test suite: an empty list
+    means the document is structurally valid Chrome-trace JSON.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for n, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {n}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "B", "E", "C"):
+            problems.append(f"event {n}: unknown phase {ph!r}")
+        # metadata events name processes/threads; they carry no timeline
+        # position, so cat/ts are not required of them
+        required = ("name", "ph", "pid", "tid") if ph == "M" \
+            else REQUIRED_EVENT_KEYS
+        for key in required:
+            if key not in ev:
+                problems.append(f"event {n}: missing {key!r}")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                problems.append(f"event {n}: bad dur {ev.get('dur')!r}")
+            if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
+                problems.append(f"event {n}: bad ts {ev.get('ts')!r}")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            problems.append(f"event {n}: instant missing scope")
+    return problems
+
+
+def metrics_dump(registry: MetricsRegistry) -> str:
+    """The canonical deterministic metrics dump (Prometheus text)."""
+    return registry.render_prometheus()
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> str:
+    """Write the Prometheus text dump to ``path``; returns the text."""
+    text = metrics_dump(registry)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text

@@ -1,0 +1,249 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the *numeric* half of the observability layer
+(:mod:`repro.obs`): every kernel launch, cache decision, and served
+request lands here as a named metric, and the whole registry serializes
+deterministically — two same-seed runs produce byte-identical dumps,
+which is what the CI determinism check diffs.
+
+Design constraints, in order:
+
+* **Determinism.**  No wall clocks, no ids, no dict-order dependence:
+  metric samples render sorted by ``(name, labels)`` and histogram
+  buckets are *fixed at creation* (Prometheus-style cumulative ``le``
+  buckets), so the dump is a pure function of the observed values.
+* **Cheapness.**  A counter increment is one attribute add; a histogram
+  observation is one bisect + three adds.  Nothing here allocates per
+  observation.
+* **Familiarity.**  ``render_prometheus()`` emits the Prometheus text
+  exposition format (``# TYPE`` headers, ``{label="value"}`` sample
+  lines, ``_bucket``/``_sum``/``_count`` histogram series) so the dump
+  is greppable with standard tooling.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: default latency buckets (simulated milliseconds): geometric 1-2-5
+#: ladder covering sub-launch-overhead stalls up to second-scale batches
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0, 1000.0)
+
+#: default size buckets (frontier sizes, edge counts): powers of four
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = tuple(
+    float(4 ** k) for k in range(0, 13))
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A scalar that can go anywhere."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with deterministic quantile estimates.
+
+    ``bounds`` are finite inclusive upper edges (Prometheus ``le``); an
+    implicit ``+Inf`` bucket catches overflow.  Quantiles interpolate
+    linearly inside the winning bucket, which keeps them a pure function
+    of the bucket counts — byte-stable across runs by construction.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Optional[Iterable[float]] = None) -> None:
+        bs = tuple(float(b) for b in (
+            bounds if bounds is not None else DEFAULT_LATENCY_BUCKETS_MS))
+        if not bs or list(bs) != sorted(set(bs)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = bs
+        self.counts = [0] * (len(bs) + 1)  # last = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += float(value)
+
+    def quantile(self, q: float) -> float:
+        """Deterministic bucket-interpolated quantile in [0, 1].
+
+        Returns 0.0 for an empty histogram; overflow-bucket quantiles
+        clamp to the largest finite bound (the honest answer a
+        fixed-bucket histogram can give).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            prev = cum
+            cum += c
+            if cum >= rank and c > 0:
+                if i >= len(self.bounds):       # overflow bucket
+                    return self.bounds[-1]
+                lo = 0.0 if i == 0 else self.bounds[i - 1]
+                hi = self.bounds[i]
+                frac = (rank - prev) / c if c else 0.0
+                return lo + (hi - lo) * min(1.0, max(0.0, frac))
+        return self.bounds[-1]
+
+    def percentiles(self) -> Dict[str, float]:
+        """The serving-report trio: p50 / p95 / p99."""
+        return {"p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
+
+class MetricsRegistry:
+    """Named metric store: get-or-create counters, gauges, histograms.
+
+    Metric names follow ``repro_<subsystem>_<quantity>[_total]``
+    (DESIGN §11); labels are keyword arguments.  Asking for an existing
+    name+labels with a different metric type raises — one name, one type.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelKey], object] = {}
+        self._types: Dict[str, type] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, object], factory):
+        seen = self._types.get(name)
+        if seen is not None and seen is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {seen.__name__}")
+        self._types[name] = cls
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = factory()
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Iterable[float]] = None,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels,
+                         lambda: Histogram(buckets))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def samples(self, name: str) -> List[Tuple[LabelKey, object]]:
+        """All ``(label_key, metric)`` pairs under ``name``, label-sorted."""
+        return sorted(((lk, m) for (n, lk), m in self._metrics.items()
+                       if n == name), key=lambda t: t[0])
+
+    # -- serialization -----------------------------------------------------
+
+    def _sorted_items(self) -> List[Tuple[str, LabelKey, object]]:
+        return sorted(((name, lk, m) for (name, lk), m
+                       in self._metrics.items()),
+                      key=lambda t: (t[0], t[1]))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Nested deterministic summary (for JSON embedding)."""
+        out: Dict[str, object] = {}
+        for name, lk, metric in self._sorted_items():
+            label_str = _fmt_labels(lk)
+            if isinstance(metric, (Counter, Gauge)):
+                out[name + label_str] = metric.value
+            else:
+                h: Histogram = metric  # type: ignore[assignment]
+                out[name + label_str] = {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "buckets": {_fmt(b): c for b, c
+                                in zip(h.bounds, h.counts)},
+                    "overflow": h.counts[-1],
+                    **h.percentiles(),
+                }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format, deterministically ordered."""
+        lines: List[str] = []
+        last_name = None
+        for name, lk, metric in self._sorted_items():
+            if isinstance(metric, Counter):
+                kind = "counter"
+            elif isinstance(metric, Gauge):
+                kind = "gauge"
+            else:
+                kind = "histogram"
+            if name != last_name:
+                lines.append(f"# TYPE {name} {kind}")
+                last_name = name
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{name}{_fmt_labels(lk)} {_fmt(metric.value)}")
+                continue
+            h: Histogram = metric  # type: ignore[assignment]
+            cum = 0
+            for bound, c in zip(h.bounds, h.counts):
+                cum += c
+                bk = lk + (("le", _fmt(bound)),)
+                lines.append(f"{name}_bucket{_fmt_labels(bk)} {cum}")
+            bk = lk + (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_fmt_labels(bk)} {h.count}")
+            lines.append(f"{name}_sum{_fmt_labels(lk)} {_fmt(h.sum)}")
+            lines.append(f"{name}_count{_fmt_labels(lk)} {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -177,6 +177,78 @@ def core_numbers(g: Csr) -> List[int]:
     return core
 
 
+def is_proper_coloring(g: Csr, colors) -> bool:
+    """No edge is monochromatic and every color is a non-negative int."""
+    if len(colors) != g.n:
+        return False
+    if any(int(c) < 0 for c in colors):
+        return False
+    for u in range(g.n):
+        for v in g.neighbors(u):
+            v = int(v)
+            if v != u and int(colors[u]) == int(colors[v]):
+                return False
+    return True
+
+
+def is_independent_set(g: Csr, members) -> bool:
+    """No two members share an edge (self-loops are ignored)."""
+    chosen = {int(v) for v in members}
+    for u in chosen:
+        for v in g.neighbors(u):
+            v = int(v)
+            if v != u and v in chosen:
+                return False
+    return True
+
+
+def is_maximal_independent_set(g: Csr, members) -> bool:
+    """Independent, and no outside vertex could join: every non-member
+    has at least one member neighbor."""
+    if not is_independent_set(g, members):
+        return False
+    chosen = {int(v) for v in members}
+    for u in range(g.n):
+        if u in chosen:
+            continue
+        if not any(int(v) in chosen for v in g.neighbors(u) if int(v) != u):
+            return False
+    return True
+
+
+def label_prop_consistent(g: Csr, labels) -> bool:
+    """Labels propagate only along edges, so a vertex's community label
+    must name a vertex of its own connected component (isolated vertices
+    must keep their own label)."""
+    if len(labels) != g.n:
+        return False
+    comp = connected_components(g)
+    for v in range(g.n):
+        lbl = int(labels[v])
+        if not 0 <= lbl < g.n or comp[lbl] != comp[v]:
+            return False
+    return True
+
+
+def label_prop_is_stable(g: Csr, labels) -> bool:
+    """Fixed-point check for synchronous smallest-label-majority LP:
+    every vertex with neighbors already holds the smallest most-frequent
+    label among its neighbors.  Only valid when the run converged
+    (``iterations < max_iterations``) — synchronous LP can oscillate."""
+    for u in range(g.n):
+        votes: Dict[int, int] = {}
+        for v in g.neighbors(u):
+            lbl = int(labels[int(v)])
+            votes[lbl] = votes.get(lbl, 0) + 1
+        if not votes:
+            continue
+        best = max(votes.values())
+        winner = min(lab for lab, c in votes.items() if c == best)
+        if int(labels[u]) != winner:
+            return False
+    return True
+
+
 def minimum_spanning_weight(g: Csr) -> float:
     """Kruskal over canonical undirected edges."""
     edges: Dict[Tuple[int, int], float] = {}

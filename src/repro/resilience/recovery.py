@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from ..obs.spans import (CAT_RECOVERY, instant as obs_instant,
+                         metrics as obs_metrics)
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -51,6 +54,12 @@ class RecoveryStats:
     def record_fault(self, kind: str) -> None:
         self.faults_seen += 1
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        # recovery events become trace instants (and a fault counter)
+        # under the installed observer; no-ops otherwise
+        obs_instant("recovery.fault", CAT_RECOVERY, kind=kind)
+        m = obs_metrics()
+        if m is not None:
+            m.counter("repro_faults_total", kind=kind).inc()
 
     def as_dict(self) -> Dict[str, object]:
         return {

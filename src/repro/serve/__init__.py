@@ -76,4 +76,5 @@ def run_serving(graph: Csr, spec: WorkloadSpec, *, devices: int = 1,
                                    on_complete=workload.driver)
     return ServeReport.from_replay(completions, service,
                                    recovered_faults=scheduler.recovered_faults,
-                                   retry_backoff_ms=scheduler.retry_backoff_ms)
+                                   retry_backoff_ms=scheduler.retry_backoff_ms,
+                                   metrics=scheduler.metrics)

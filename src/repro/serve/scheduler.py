@@ -34,6 +34,8 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..graph.csr import Csr
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import CAT_SERVE, current_observer, span as obs_span
 from ..resilience.recovery import RetryPolicy
 from ..simt.machine import Machine
 from .batcher import DEFAULT_MAX_LANES, plan_batches
@@ -97,6 +99,27 @@ class DeadlineScheduler:
         self.retry_backoff_ms = 0.0
         self._heap: List[Tuple[float, int, int, object]] = []
         self._seq = 0
+        # per-primitive latency histograms + outcome counters: recorded
+        # into the process-wide observer's registry when one is installed
+        # (so `repro serve --metrics` sees them), else a private one —
+        # ServeReport reads the p50/p95/p99 estimates either way
+        observer = current_observer()
+        self.metrics: MetricsRegistry = observer.metrics \
+            if observer is not None else MetricsRegistry()
+
+    def _complete(self, done: Completion) -> Completion:
+        """Record one terminal request outcome (list + metrics)."""
+        self.completions.append(done)
+        m = self.metrics
+        m.counter("repro_serve_requests_total", outcome=done.outcome,
+                  primitive=done.primitive).inc()
+        if done.served:
+            m.histogram("repro_serve_latency_ms",
+                        primitive=done.primitive).observe(done.latency_ms)
+            if not done.deadline_met:
+                m.counter("repro_serve_deadline_misses_total",
+                          primitive=done.primitive).inc()
+        return done
 
     # -- admission ---------------------------------------------------------
 
@@ -112,8 +135,7 @@ class DeadlineScheduler:
             done = Completion(request.rid, request.primitive,
                               request.arrival_ms, now, "cache_hit",
                               deadline_met=now <= request.absolute_deadline_ms)
-            self.completions.append(done)
-            return done
+            return self._complete(done)
         if self._queued >= self.max_queue:
             raise Overloaded(request.rid, self._queued, self.max_queue)
         key = (request.graph, request.primitive)
@@ -165,7 +187,7 @@ class DeadlineScheduler:
                         done = Completion(req.rid, req.primitive,
                                           req.arrival_ms, now, "shed",
                                           deadline_met=False)
-                        self.completions.append(done)
+                        self._complete(done)
                     if done is not None:
                         finished.append(done)
                 # _EV_FREE and _EV_FLUSH exist only to wake the dispatcher
@@ -221,14 +243,12 @@ class DeadlineScheduler:
                     done = Completion(req.rid, req.primitive, req.arrival_ms,
                                       now, "deadline_drop",
                                       deadline_met=False)
-                    self.completions.append(done)
-                    finished.append(done)
+                    finished.append(self._complete(done))
                 elif self.service.lookup(req) is not None:
                     # an earlier batch filled the cache while this waited
                     done = Completion(req.rid, req.primitive, req.arrival_ms,
                                       now, "cache_hit")
-                    self.completions.append(done)
-                    finished.append(done)
+                    finished.append(self._complete(done))
                 else:
                     runnable.append(req)
             if not runnable:
@@ -250,7 +270,10 @@ class DeadlineScheduler:
         # serialize back-to-back on the chosen device
         for batch in batches:
             before = device.machine.elapsed_ms()
-            self.service.run_batch(graph_name, batch, device.machine)
+            with obs_span("serve.batch", CAT_SERVE, device.machine,
+                          primitive=primitive, graph=graph_name,
+                          lanes=batch.lanes, device=device.index):
+                self.service.run_batch(graph_name, batch, device.machine)
             exec_ms = device.machine.elapsed_ms() - before
             service_ms = exec_ms
             if self.fault_rate and self.retry.max_retries > 0 and \
@@ -273,8 +296,7 @@ class DeadlineScheduler:
                         rid, req.primitive, req.arrival_ms, finish, "ok",
                         batch_lanes=batch.lanes, device=device.index,
                         deadline_met=finish <= req.absolute_deadline_ms)
-                    self.completions.append(done)
-                    out.append(done)
+                    out.append(self._complete(done))
             start = finish
         device.busy_until_ms = start
         self._push(start, _EV_FREE, device.index)

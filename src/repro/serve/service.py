@@ -166,6 +166,7 @@ class ServeReport:
     deadline_misses: int     # served, but after the deadline
     throughput_rps: float
     p50_ms: float
+    p95_ms: float
     p99_ms: float
     hit_rate: float
     stale_hits: int
@@ -175,11 +176,18 @@ class ServeReport:
     recovered_faults: int = 0
     retry_backoff_ms: float = 0.0
     cache: Dict[str, float] = field(default_factory=dict)
+    #: per-primitive histogram-estimated quantiles from the scheduler's
+    #: ``repro_serve_latency_ms`` metric (DESIGN §11) — bucket
+    #: interpolation, so values are deterministic but approximate,
+    #: unlike the exact sample percentiles above
+    latency_histogram: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
 
     @classmethod
     def from_replay(cls, completions: List[Completion], service: GraphService,
                     recovered_faults: int = 0,
-                    retry_backoff_ms: float = 0.0) -> "ServeReport":
+                    retry_backoff_ms: float = 0.0,
+                    metrics=None) -> "ServeReport":
         served = [c for c in completions if c.served]
         latencies = np.array([c.latency_ms for c in served], dtype=np.float64)
         if len(served):
@@ -188,10 +196,16 @@ class ServeReport:
             makespan = max(end - start, 1e-9)
             throughput = len(served) / (makespan * 1e-3)
             p50 = float(np.percentile(latencies, 50))
+            p95 = float(np.percentile(latencies, 95))
             p99 = float(np.percentile(latencies, 99))
         else:
             makespan = 0.0
-            throughput = p50 = p99 = 0.0
+            throughput = p50 = p95 = p99 = 0.0
+        latency_histogram: Dict[str, Dict[str, float]] = {}
+        if metrics is not None:
+            for lk, hist in metrics.samples("repro_serve_latency_ms"):
+                primitive = dict(lk).get("primitive", "")
+                latency_histogram[primitive] = hist.percentiles()
         stats = service.cache.stats
         return cls(
             requests=len(completions),
@@ -203,6 +217,7 @@ class ServeReport:
             deadline_misses=sum(1 for c in served if not c.deadline_met),
             throughput_rps=throughput,
             p50_ms=p50,
+            p95_ms=p95,
             p99_ms=p99,
             hit_rate=stats.hit_rate(),
             stale_hits=stats.stale_rejections,
@@ -212,6 +227,7 @@ class ServeReport:
             recovered_faults=recovered_faults,
             retry_backoff_ms=retry_backoff_ms,
             cache=stats.as_dict(),
+            latency_histogram=latency_histogram,
         )
 
     def as_dict(self) -> Dict:
@@ -224,6 +240,7 @@ class ServeReport:
             "deadline_misses": self.deadline_misses,
             "throughput_rps": round(self.throughput_rps, 6),
             "p50_ms": round(self.p50_ms, 6),
+            "p95_ms": round(self.p95_ms, 6),
             "p99_ms": round(self.p99_ms, 6),
             "hit_rate": round(self.hit_rate, 6),
             "stale_hits": self.stale_hits,
@@ -235,6 +252,9 @@ class ServeReport:
             "retry_backoff_ms": round(self.retry_backoff_ms, 6),
             "cache": {k: (round(v, 6) if isinstance(v, float) else v)
                       for k, v in self.cache.items()},
+            "latency_histogram": {
+                p: {q: round(v, 6) for q, v in sorted(qs.items())}
+                for p, qs in sorted(self.latency_histogram.items())},
         }
 
     def format(self) -> str:
@@ -247,6 +267,7 @@ class ServeReport:
             f"{'deadline misses':<22}{self.deadline_misses}",
             f"{'throughput':<22}{self.throughput_rps:.1f} req/s (simulated)",
             f"{'latency p50':<22}{self.p50_ms:.3f} ms",
+            f"{'latency p95':<22}{self.p95_ms:.3f} ms",
             f"{'latency p99':<22}{self.p99_ms:.3f} ms",
             f"{'cache hit rate':<22}{self.hit_rate:.1%}",
             f"{'stale hits':<22}{self.stale_hits}",
@@ -260,4 +281,10 @@ class ServeReport:
             spread = "  ".join(f"{lanes}x{count}"
                                for lanes, count in hist.items())
             lines.append(f"  {prim:<10}{spread}")
+        if self.latency_histogram:
+            lines.append("latency histograms (bucket-estimated, ms):")
+            for prim, qs in sorted(self.latency_histogram.items()):
+                trio = "  ".join(f"{q}={qs[q]:.3f}"
+                                 for q in ("p50", "p95", "p99") if q in qs)
+                lines.append(f"  {prim:<10}{trio}")
         return "\n".join(lines)

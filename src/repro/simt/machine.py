@@ -38,6 +38,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from ..obs.spans import notify_kernel
 from . import calib
 from .counters import Counters
 
@@ -122,6 +123,7 @@ class Machine:
         cycles += self._launch_overhead()
         cycles = self._inject(cycles, iteration)
         self.counters.record_kernel(name, cycles, items, iteration)
+        notify_kernel(self, name, cycles, items, iteration)
         return cycles
 
     def _inject(self, cycles: float, iteration: int) -> float:
@@ -153,6 +155,7 @@ class Machine:
                 cycles = scope.cycles + self._launch_overhead()
                 cycles = self._inject(cycles, iteration)
                 self.counters.record_kernel(name, cycles, scope.items, iteration)
+                notify_kernel(self, name, cycles, scope.items, iteration)
 
     # -- uniform-work helpers ----------------------------------------------
 
@@ -196,6 +199,7 @@ class Machine:
             return
         cycles = ms * self.spec.clock_ghz * 1e9 * 1e-3
         self.counters.record_kernel(name, cycles, 0, iteration)
+        notify_kernel(self, name, cycles, 0, iteration)
 
     # -- reporting ----------------------------------------------------------
 
