@@ -11,9 +11,21 @@ duplicate applies are harmless.
 * :func:`sanitize` / ``python -m repro run --sanitize`` — runtime kernel
   instrumentation that snapshots problem arrays, tracks write-sets, and
   reports write-write conflicts and read-after-write hazards.
+* :func:`analyze_paths` / ``python -m repro analyze`` — abstract
+  interpretation of functor bodies into effect summaries (rule IDs
+  GR006-GR012, see :mod:`.effects`) plus a fusion-safety verdict per
+  primitive over the statically recovered operator DAG
+  (:mod:`.fusion`), rendered by :mod:`.report`.
 """
 
+from .effects import (ArraySpec, FunctorSummary, MethodSummary,
+                      ModuleEffects, WriteEvent, analyze_file,
+                      analyze_module_source, summarize_functor_class)
+from .fusion import (AnalysisReport, OperatorNode, PrimitiveReport,
+                     analyze_paths, crosscheck_dag, validate_soundness)
 from .linter import lint_file, lint_paths, lint_source
+from .report import (REPORT_SCHEMA_VERSION, render_dot, render_text,
+                     report_to_dict, validate_report_dict)
 from .rules import RULES, RULES_BY_ID, Rule, Violation
 from .sanitizer import (RaceError, RaceReport, Sanitizer, TrackedArray,
                         current_sanitizer, kernel_scope, sanitize)
@@ -23,4 +35,11 @@ __all__ = [
     "RULES", "RULES_BY_ID", "Rule", "Violation",
     "RaceError", "RaceReport", "Sanitizer", "TrackedArray",
     "current_sanitizer", "kernel_scope", "sanitize",
+    "ArraySpec", "FunctorSummary", "MethodSummary", "ModuleEffects",
+    "WriteEvent", "analyze_file", "analyze_module_source",
+    "summarize_functor_class",
+    "AnalysisReport", "OperatorNode", "PrimitiveReport", "analyze_paths",
+    "crosscheck_dag", "validate_soundness",
+    "REPORT_SCHEMA_VERSION", "render_dot", "render_text",
+    "report_to_dict", "validate_report_dict",
 ]

@@ -39,6 +39,13 @@ _ALLOC_FUNCS = frozenset({
     "full_like", "empty_like", "arange",
 })
 
+#: numpy functions that *derive* a fresh per-element array from existing
+#: state (np.maximum(deg, 1) and friends); assigning their result to a
+#: problem attribute hides it from the registry just like an allocator
+_DERIVE_FUNCS = frozenset({
+    "maximum", "minimum", "where", "clip", "concatenate", "repeat",
+})
+
 #: ufunc-method scatters that are raw writes unless wrapped by atomics
 _UFUNC_AT_ACCUMULATORS = frozenset({"add", "subtract", "multiply", "divide"})
 
@@ -46,7 +53,11 @@ _ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
 
 
 def _suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> rule names allowed on that line (1-based)."""
+    """Map line number -> rule tokens allowed on that line (1-based).
+
+    A token is either a rule name (``raw-write``) or a rule id
+    (``GR001``); :func:`_token_matches` treats them interchangeably.
+    """
     allowed: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         m = _ALLOW_RE.search(line)
@@ -54,6 +65,36 @@ def _suppressions(source: str) -> Dict[int, Set[str]]:
             names = {n.strip() for n in m.group(1).split(",") if n.strip()}
             allowed[lineno] = names
     return allowed
+
+
+def _token_matches(token: str, rule: Rule) -> bool:
+    return token == rule.name or token == rule.id
+
+
+def filter_suppressed(violations: List[Violation],
+                      allowed: Dict[int, Set[str]],
+                      used: Optional[Set[tuple]] = None) -> List[Violation]:
+    """Drop violations covered by an ``allow(...)`` token on the violating
+    line or the line above.  When ``used`` is given, every (line, token)
+    pair that actually suppressed something is recorded there — the
+    ``repro analyze --strict`` stale-suppression check is the complement.
+    """
+    kept: List[Violation] = []
+    for v in violations:
+        hit = None
+        for line in (v.line, v.line - 1):
+            for token in allowed.get(line, ()):
+                if _token_matches(token, v.rule):
+                    hit = (line, token)
+                    break
+            if hit:
+                break
+        if hit:
+            if used is not None:
+                used.add(hit)
+        else:
+            kept.append(v)
+    return kept
 
 
 def _base_names(cls: ast.ClassDef) -> List[str]:
@@ -209,6 +250,24 @@ class _FunctorMethodChecker:
                       "double-count even through atomics")
 
 
+def _np_rooted_call(value: ast.AST) -> Optional[str]:
+    """Name of the numpy call when ``value`` is an np-rooted expression
+    that materializes a fresh array: a direct ``np.X(...)`` allocator or
+    deriver, or ``.astype(...)`` on one."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if (isinstance(func, ast.Attribute) and func.attr == "astype"
+            and _np_rooted_call(func.value) is not None):
+        return f"{_np_rooted_call(func.value)}(...).astype"
+    if (isinstance(func, ast.Attribute)
+            and func.attr in (_ALLOC_FUNCS | _DERIVE_FUNCS)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")):
+        return func.attr
+    return None
+
+
 def _check_problem_class(filename: str, cls: ast.ClassDef) -> List[Violation]:
     out: List[Violation] = []
     for method in cls.body:
@@ -222,28 +281,28 @@ def _check_problem_class(filename: str, cls: ast.ClassDef) -> List[Violation]:
                         and isinstance(target.value, ast.Name)
                         and target.value.id == "self"):
                     continue
-                value = node.value
-                if (isinstance(value, ast.Call)
-                        and isinstance(value.func, ast.Attribute)
-                        and value.func.attr in _ALLOC_FUNCS
-                        and isinstance(value.func.value, ast.Name)
-                        and value.func.value.id in ("np", "numpy")):
+                npcall = _np_rooted_call(node.value)
+                if npcall is not None:
                     out.append(Violation(
                         filename, node.lineno, RULES["unregistered-array"],
                         f"{cls.name}.{method.name} allocates "
-                        f"self.{target.attr} with np.{value.func.attr}; "
+                        f"self.{target.attr} with np.{npcall}; "
                         "register it via add_vertex_array/add_edge_array"))
     return out
 
 
-def lint_source(source: str, filename: str = "<string>") -> List[Violation]:
-    """Lint one module's source text; returns unsuppressed violations."""
-    try:
-        tree = ast.parse(source, filename=filename)
-    except SyntaxError as err:
-        return [Violation(filename, err.lineno or 0, RULES["parse-error"],
-                          f"syntax error: {err.msg}")]
-    allowed = _suppressions(source)
+def collect_source_violations(source: str, filename: str = "<string>", *,
+                              tree: Optional[ast.Module] = None
+                              ) -> List[Violation]:
+    """All GR001–GR005 violations in one module, **before** suppression
+    filtering.  The effect pass (:mod:`.effects`) and the stale-suppression
+    check both need the raw findings."""
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError as err:
+            return [Violation(filename, err.lineno or 0, RULES["parse-error"],
+                              f"syntax error: {err.msg}")]
     violations: List[Violation] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
@@ -258,14 +317,14 @@ def lint_source(source: str, filename: str = "<string>") -> List[Violation]:
                     violations.extend(checker.run())
         if _is_problem_class(node):
             violations.extend(_check_problem_class(filename, node))
+    return violations
 
-    def suppressed(v: Violation) -> bool:
-        for line in (v.line, v.line - 1):
-            if v.rule.name in allowed.get(line, ()):
-                return True
-        return False
 
-    return sorted((v for v in violations if not suppressed(v)),
+def lint_source(source: str, filename: str = "<string>") -> List[Violation]:
+    """Lint one module's source text; returns unsuppressed violations."""
+    violations = collect_source_violations(source, filename)
+    allowed = _suppressions(source)
+    return sorted(filter_suppressed(violations, allowed),
                   key=lambda v: (v.file, v.line, v.rule.id))
 
 

@@ -53,6 +53,44 @@ RULES: Dict[str, Rule] = {
              "problem class allocates a per-element numpy array directly on "
              "self instead of through add_vertex_array/add_edge_array, "
              "hiding it from the memory-footprint audit and the sanitizer"),
+        # -- effect-analysis rules (repro analyze, DESIGN §12) -------------
+        Rule("GR006", "cond-impure",
+             "a cond_* method writes problem state or calls outside the "
+             "deterministic allowlist; fused kernels evaluate cond masks "
+             "speculatively, so cond must be a pure predicate over "
+             "pre-kernel state"),
+        Rule("GR007", "nondeterministic-call",
+             "functor method calls a known source of nondeterminism "
+             "(np.random, random, time, uuid, ...); replay, checkpointing "
+             "and bitwise pooled/unpooled equivalence all assume functor "
+             "bodies are deterministic functions of pre-kernel state"),
+        Rule("GR008", "narrowing-store",
+             "value stored into a registered problem array sits higher on "
+             "the dtype lattice than the array's registered dtype; the "
+             "implicit cast truncates and breaks bitwise equivalence under "
+             "a fused kernel"),
+        Rule("GR009", "unrouted-store",
+             "problem-array mutation invisible to the GR001 syntactic "
+             "check: an in-place ufunc (out=), np.copyto, .fill(), or a "
+             "store through an alias shape the legacy dataflow misses; "
+             "route it through repro.core.atomics or suppress with a "
+             "uniqueness justification"),
+        Rule("GR010", "fused-write-hazard",
+             "one functor writes the same problem array both through "
+             "atomics and through plain stores; inside a single fused "
+             "kernel the plain store races with the atomic's read-modify-"
+             "write window"),
+        Rule("GR011", "atomic-mix",
+             "one functor method reduces the same array with conflicting "
+             "atomic ops (e.g. atomic_min and atomic_max), or uses the "
+             "order-dependent atomic_exch on a non-relaxed array; a fused "
+             "reduction needs a single commutative+associative operator "
+             "per array"),
+        Rule("GR012", "unknown-effect",
+             "the analysis cannot bound the method's effects: the problem "
+             "object escapes into a non-allowlisted call, an attribute is "
+             "rebound on the problem, or dynamic attribute machinery is "
+             "used; unbounded effects veto fusion"),
     ]
 }
 

@@ -91,7 +91,7 @@ class _ArrayTrace:
     """Per-array, per-kernel write/read bookkeeping."""
 
     __slots__ = ("name", "base", "snapshot", "relaxed", "scope",
-                 "raw_mask", "tracked_mask", "active")
+                 "raw_mask", "tracked_mask", "active", "wrote")
 
     def __init__(self, name: str, base: np.ndarray, snapshot: np.ndarray,
                  relaxed: bool, scope: "_KernelScope"):
@@ -103,8 +103,10 @@ class _ArrayTrace:
         self.raw_mask: Optional[np.ndarray] = None      # raw-written cells
         self.tracked_mask: Optional[np.ndarray] = None  # raw or atomic
         self.active = True
+        self.wrote = False   # any write observed (raw, atomic, or diffed)
 
     def _mark(self, attr: str, cells: np.ndarray) -> None:
+        self.wrote = True
         mask = getattr(self, attr)
         if mask is None:
             mask = np.zeros(len(self.base), dtype=bool)
@@ -175,6 +177,8 @@ class _ArrayTrace:
         changed = base != snap
         if base.dtype.kind == "f":
             changed &= ~(np.isnan(base) & np.isnan(snap))
+        if changed.any():
+            self.wrote = True
         if self.tracked_mask is not None:
             changed &= ~self.tracked_mask
         cells = np.flatnonzero(changed)
@@ -261,6 +265,11 @@ class _KernelScope:
             return  # don't pile diff reports on top of a real exception
         for trace in self.traces.values():
             trace.finish()
+        observed = self.sanitizer.observed_writes.setdefault(
+            self.functor_name, set())
+        for name, trace in self.traces.items():
+            if trace.wrote:
+                observed.add(name)
         if self.sanitizer.strict and self._reported:
             raise RaceError(self.sanitizer.reports[:])
 
@@ -272,6 +281,11 @@ class Sanitizer:
         self.strict = strict
         self.reports: List[RaceReport] = []
         self._scopes: List[_KernelScope] = []
+        #: functor class name -> registered arrays it was seen writing
+        #: (raw, atomic, or caught by the post-kernel diff); the dynamic
+        #: half of the soundness property pinned against
+        #: :func:`repro.analysis.fusion.validate_soundness`
+        self.observed_writes: Dict[str, set] = {}
 
     def _add(self, report: RaceReport) -> None:
         self.reports.append(report)

@@ -8,6 +8,9 @@ Mirrors the original Gunrock's test drivers (``bfs market graph.mtx``):
 * ``compare``   — run one primitive across all frameworks (a Table 2 row)
 * ``datasets``  — list the built-in dataset twins
 * ``lint``      — static BSP-contract linter over functor/problem sources
+* ``analyze``   — static effect analysis + per-primitive fusion-safety
+  verdicts over the recovered operator DAGs (``--json``, ``--dot``,
+  ``--strict``)
 * ``chaos``     — inject faults into a primitive and verify recovery
 * ``serve``     — replay a query-serving workload (batching + cache +
   deadline scheduling), report throughput/latency/hit-rate
@@ -154,6 +157,38 @@ def cmd_lint(args) -> int:
         print(f"{len(violations)} violation(s)", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_analyze(args) -> int:
+    import json
+    import os
+
+    from .analysis.fusion import analyze_paths
+    from .analysis.report import render_dot, render_text, report_to_dict
+
+    paths = args.paths
+    if not paths:
+        pkg = os.path.dirname(os.path.abspath(__file__))
+        paths = [os.path.join(pkg, "primitives")]
+    try:
+        report = analyze_paths(paths)
+    except FileNotFoundError as err:
+        raise SystemExit(str(err))
+    if args.dot:
+        print(render_dot(report), end="")
+        return 0
+    if args.json:
+        print(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
+    else:
+        print(render_text(report), end="")
+    status = 0
+    if report.violations:
+        print(f"{len(report.violations)} violation(s)", file=sys.stderr)
+        status = 1
+    if args.strict and report.stale:
+        print(f"{len(report.stale)} stale suppression(s)", file=sys.stderr)
+        status = 1
+    return status
 
 
 def cmd_chaos(args) -> int:
@@ -504,6 +539,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*",
                    help="files or directories (default: the repro package)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static effect analysis + fusion-safety verdicts")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories "
+                        "(default: the repro.primitives package)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable effect report (deterministic; "
+                        "the fusion specializer's input artifact)")
+    p.add_argument("--dot", action="store_true",
+                   help="emit the recovered operator DAGs as Graphviz")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail on stale lint: allow(...) suppressions")
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser(
         "chaos", help="inject faults into a primitive and verify recovery")

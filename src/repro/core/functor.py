@@ -75,6 +75,25 @@ class Functor:
         """Per-vertex computation for filter/compute steps."""
         return None
 
+    # -- static effect summary ----------------------------------------------
+
+    @classmethod
+    def effect_summary(cls):
+        """Static effect summary of this functor's kernel methods.
+
+        Lazily runs :func:`repro.analysis.effects.summarize_functor_class`
+        on the defining module and caches the result on the class — the
+        registration hook the fusion specializer (ROADMAP item 3) queries
+        before inlining a functor into a fused kernel.
+        """
+        cached = cls.__dict__.get("_effect_summary_cache")
+        if cached is None:
+            from ..analysis.effects import summarize_functor_class
+
+            cached = summarize_functor_class(cls)
+            cls._effect_summary_cache = cached
+        return cached
+
 
 class AllPassFunctor(Functor):
     """Pure traversal: no computation, everything admitted."""

@@ -71,6 +71,25 @@ class ProblemBase:
         out.update(self._edge_arrays)
         return out
 
+    def array_specs(self) -> Dict[str, Dict[str, object]]:
+        """Machine-readable registry: name -> kind/dtype/size/relaxed.
+
+        The static effect analysis (:mod:`repro.analysis.effects`) infers
+        the same registry from the ``add_*_array`` call sites without
+        importing anything; this runtime view is its ground truth, and
+        the two are cross-checked in tests.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name, arr in self._vertex_arrays.items():
+            out[name] = {"kind": "vertex", "dtype": str(arr.dtype),
+                         "size": int(arr.shape[0]),
+                         "relaxed": name in self.relaxed_arrays}
+        for name, arr in self._edge_arrays.items():
+            out[name] = {"kind": "edge", "dtype": str(arr.dtype),
+                         "size": int(arr.shape[0]),
+                         "relaxed": name in self.relaxed_arrays}
+        return out
+
     # -- resilience hooks --------------------------------------------------------
 
     def snapshot_state(self) -> Dict[str, object]:

@@ -40,7 +40,7 @@ class CcProblem(ProblemBase):
         self.component_ids[:] = np.arange(graph.n, dtype=np.int64)
 
 
-class _HookFunctor(Functor):
+class _HookFunctorBase(Functor):
     """One hooking round over an edge frontier.
 
     Soman et al. alternate which endpoint writes (lower-to-higher on odd
@@ -53,25 +53,42 @@ class _HookFunctor(Functor):
     Shiloach-Vishkin-style variant with the same per-round cost and
     provably geometric convergence; ``alternate=True`` keeps the paper's
     literal schedule for the ablation benchmark.
-    """
 
-    def __init__(self, odd: bool, alternate: bool = False):
-        self.odd = odd
-        self.alternate = alternate
+    The direction choice is made per super-step by the *enactor*, not
+    inside the functor: a fused kernel needs a single
+    commutative+associative reduction per array (GR011), so each hook
+    variant commits to exactly one atomic op, and the barrier between
+    super-steps sequences the min- and max-rounds of the alternate
+    schedule.
+    """
 
     def cond_edge(self, P, src, dst, eid):
         # drop edges already inside one component
         return P.component_ids[src] != P.component_ids[dst]
+
+
+class _HookMinFunctor(_HookFunctorBase):
+    """Monotonic hook: larger root under the smaller (the default)."""
 
     def apply_edge(self, P, src, dst, eid):
         cid_s = P.component_ids[src]
         cid_d = P.component_ids[dst]
         hi = np.maximum(cid_s, cid_d)
         lo = np.minimum(cid_s, cid_d)
-        if self.alternate and not self.odd:
-            atomics.atomic_max(P.component_ids, lo, hi, P.machine)
-        else:
-            atomics.atomic_min(P.component_ids, hi, lo, P.machine)
+        atomics.atomic_min(P.component_ids, hi, lo, P.machine)
+        return None  # surviving edges stay in the frontier
+
+
+class _HookMaxFunctor(_HookFunctorBase):
+    """Reverse hook: smaller root under the larger (the alternate
+    schedule's even rounds)."""
+
+    def apply_edge(self, P, src, dst, eid):
+        cid_s = P.component_ids[src]
+        cid_d = P.component_ids[dst]
+        hi = np.maximum(cid_s, cid_d)
+        lo = np.minimum(cid_s, cid_d)
+        atomics.atomic_max(P.component_ids, lo, hi, P.machine)
         return None  # surviving edges stay in the frontier
 
 
@@ -95,8 +112,9 @@ class CcEnactor(EnactorBase):
 
     def _iterate(self, frontier: Frontier) -> Frontier:
         odd = (self.iteration % 2) == 0  # first round is "odd" in the paper
-        out = self.filter(frontier, _HookFunctor(odd, self.alternate),
-                          label="filter(hook)")
+        fn = (_HookMaxFunctor if self.alternate and not odd
+              else _HookMinFunctor)()
+        out = self.filter(frontier, fn, label="filter(hook)")
         self._pointer_jump()
         return out
 
@@ -124,8 +142,8 @@ def cc(graph: Csr, *, machine: Optional[Machine] = None,
     matching the paper's symmetrized datasets).
 
     ``alternate=True`` uses Soman's literal odd/even hooking schedule (see
-    :class:`_HookFunctor` for why the monotonic default converges faster
-    under deterministic atomics).
+    :class:`_HookFunctorBase` for why the monotonic default converges
+    faster under deterministic atomics).
     """
     problem = CcProblem(graph, machine)
     enactor = CcEnactor(problem, lb=lb, alternate=alternate,

@@ -50,7 +50,8 @@ class PagerankProblem(ProblemBase):
         self.add_vertex_array("residual", np.float64, base)
         self.add_vertex_array("residual_next", np.float64, 0.0)
         # degrees as float once; zero-degree vertices scatter nothing
-        self.degrees = np.maximum(graph.out_degrees, 1).astype(np.float64)
+        deg = self.add_vertex_array("degrees", np.float64, 0.0)
+        np.maximum(graph.out_degrees, 1, out=deg)
 
 
 class _DistributeFunctor(Functor):
@@ -103,10 +104,12 @@ class _CommitFunctor(Functor):
             # identical values to the fancy-indexed path below, minus
             # the gather/scatter copies.  (Disabled under the sanitizer,
             # which must observe routed per-cell writes.)
+            # elementwise all-vertices pass: one lane per cell, bitwise
+            # equal to the routed path below
             res = P.residual_next.copy()
-            np.add(P.rank, res, out=P.rank)
-            np.copyto(P.residual, res)
-            P.residual_next.fill(0.0)
+            np.add(P.rank, res, out=P.rank)  # lint: allow(GR009): 1 lane/cell
+            np.copyto(P.residual, res)  # lint: allow(GR009): one lane/cell
+            P.residual_next.fill(0.0)  # lint: allow(GR009): one lane/cell
             return res > P.tolerance
         # filter lanes are unique vertex ids: no two lanes share a cell
         res = P.residual_next[v]

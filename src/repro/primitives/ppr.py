@@ -38,7 +38,8 @@ class PprProblem(ProblemBase):
         base = (1.0 - damping) / len(seeds)
         self.rank[seeds] = base
         self.residual[seeds] = base
-        self.degrees = np.maximum(graph.out_degrees, 1).astype(np.float64)
+        deg = self.add_vertex_array("degrees", np.float64, 0.0)
+        np.maximum(graph.out_degrees, 1, out=deg)
         self.seeds = seeds
 
 

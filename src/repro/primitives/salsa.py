@@ -31,8 +31,10 @@ class SalsaProblem(ProblemBase):
         self.add_vertex_array("auth", np.float64, 0.0)
         left_deg = bp.graph.out_degrees.astype(np.float64)
         right_deg = bp.reverse.out_degrees.astype(np.float64)
-        self.out_norm = np.maximum(left_deg, 1.0)
-        self.in_norm = np.maximum(right_deg, 1.0)
+        out_norm = self.add_vertex_array("out_norm", np.float64, 1.0)
+        np.maximum(left_deg, 1.0, out=out_norm)
+        in_norm = self.add_vertex_array("in_norm", np.float64, 1.0)
+        np.maximum(right_deg, 1.0, out=in_norm)
         # start from the uniform distribution over non-isolated left nodes
         active = left_deg[:bp.n_left] > 0
         if active.any():
