@@ -1,0 +1,103 @@
+"""Sharded serving tier baseline: scaling, overload, and failover.
+
+Replays canonical scenarios on the sharded, replicated serving tier and
+writes the numbers to ``benchmarks/BENCH_shard.json`` — the robustness
+counterpart to ``BENCH_serve.json``'s single-queue baseline.  Everything
+runs in simulated time from fixed seeds, so the emitted file is
+byte-stable across machines.
+
+Scenarios:
+
+* **sweep** — the steady workload across shard counts (pins routing
+  overhead and per-shard batching behavior as the tier widens);
+* **burst** — the exact offered load that sheds 264/300 requests on the
+  legacy single-device, 8-slot-queue tier (``BENCH_serve.json``'s burst
+  row); per-shard admission over 4×2 replicas must shed strictly less;
+* **failover** — a kill schedule that takes one replica of every shard
+  *and* both replicas of one shard mid-run; pins the availability floor,
+  failover/repair counts, and the zero-stale-results invariant.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.graph import generators
+from repro.serve import WorkloadSpec, run_sharded_serving
+
+OUT_PATH = Path(__file__).parent / "BENCH_shard.json"
+
+GRAPH_SCALE = 10
+GRAPH_SEED = 3
+
+#: BENCH_serve.json burst row: devices=1, max_queue=8 shed 264 of 300
+LEGACY_BURST_SHED = 264
+
+#: one replica of every shard dies, then shard 0 loses its second
+#: replica too — the tier must repair shard 0 and keep serving
+KILL_SCHEDULE = "5:0:1,6:1:1,7:2:1,8:3:1,11:0:0"
+
+
+def _graph():
+    return generators.kronecker(GRAPH_SCALE, seed=GRAPH_SEED)
+
+
+def _report_fields(report) -> dict:
+    d = report.as_dict()
+    out = {k: d[k] for k in (
+        "requests", "served", "cache_hits", "shed", "deadline_drops",
+        "failed", "partials", "throughput_rps", "p50_ms", "p99_ms",
+        "hit_rate", "stale_hits")}
+    out["shard"] = d["shard"]
+    return out
+
+
+def build_baseline() -> dict:
+    g = _graph()
+    steady = WorkloadSpec(requests=300, seed=7)
+    sweep = {}
+    for shards in (1, 2, 4, 8):
+        r = run_sharded_serving(g, steady, shards=shards, replicas=2)
+        sweep[str(shards)] = _report_fields(r)
+    burst = run_sharded_serving(
+        g, WorkloadSpec(requests=300, seed=7, arrival_rate_rps=50000.0),
+        shards=4, replicas=2, max_queue=8)
+    failover = run_sharded_serving(
+        g, steady, shards=4, replicas=2, fault_rate=0.02,
+        kill_schedule=KILL_SCHEDULE)
+    return {
+        "schema_version": 1,
+        "graph": {"generator": f"kron:{GRAPH_SCALE}", "seed": GRAPH_SEED,
+                  "n": int(g.n), "m": int(g.m)},
+        "legacy_burst_shed": LEGACY_BURST_SHED,
+        "kill_schedule": KILL_SCHEDULE,
+        "sweep": sweep,
+        "burst": _report_fields(burst),
+        "failover": _report_fields(failover),
+    }
+
+
+def test_emit_baseline():
+    baseline = build_baseline()
+    OUT_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    # per-shard admission beats the legacy single queue at equal load
+    assert baseline["burst"]["shed"] < LEGACY_BURST_SHED
+    assert baseline["burst"]["stale_hits"] == 0
+    # the tier survives losing 5 of 8 replicas, repairs, keeps serving
+    fo = baseline["failover"]
+    assert fo["shard"]["killed_replicas"] == 5
+    assert fo["shard"]["repairs"] >= 1
+    assert fo["served"] / fo["requests"] >= 0.9
+    assert fo["stale_hits"] == 0
+    for row in baseline["sweep"].values():
+        assert row["stale_hits"] == 0
+
+
+def test_baseline_is_deterministic():
+    assert build_baseline() == build_baseline()
+
+
+if __name__ == "__main__":
+    print(json.dumps(build_baseline(), indent=2, sort_keys=True))

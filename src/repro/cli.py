@@ -390,7 +390,7 @@ def cmd_serve(args) -> int:
     import json
 
     from .resilience import RetryPolicy
-    from .serve import WorkloadSpec, run_serving
+    from .serve import WorkloadSpec, run_serving, run_sharded_serving
 
     if not (args.dataset or args.generate or args.graph):
         args.generate = "kron:10"  # a default topology for smoke runs
@@ -402,17 +402,29 @@ def cmd_serve(args) -> int:
         deadline_scale=args.deadline_scale,
         updates=args.updates, update_interval_ms=args.update_interval)
     with _obs_context(args) as observer:
-        report = run_serving(
-            g, spec, devices=args.devices, max_queue=args.max_queue,
-            batch_window_ms=args.window, max_lanes=args.max_lanes,
-            cache_bytes=args.cache_mb << 20,
-            retry=RetryPolicy(max_retries=args.max_retries),
-            fault_rate=args.fault_rate)
+        if args.shards > 0:
+            report = run_sharded_serving(
+                g, spec, shards=args.shards, replicas=args.replicas,
+                max_queue=args.max_queue, batch_window_ms=args.window,
+                max_lanes=args.max_lanes, cache_bytes=args.cache_mb << 20,
+                retry=RetryPolicy(max_retries=args.max_retries),
+                fault_rate=args.fault_rate, hedging=not args.no_hedge,
+                kill_schedule=args.kill_schedule)
+        else:
+            report = run_serving(
+                g, spec, devices=args.devices, max_queue=args.max_queue,
+                batch_window_ms=args.window, max_lanes=args.max_lanes,
+                cache_bytes=args.cache_mb << 20,
+                retry=RetryPolicy(max_retries=args.max_retries),
+                fault_rate=args.fault_rate)
     _export_obs(args, observer, extra={"report": report.as_dict()})
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
-        print(f"serving {args.requests} requests ({spec.mode} loop) on {g}")
+        tier = f" across {args.shards}x{args.replicas} shard replicas" \
+            if args.shards > 0 else ""
+        print(f"serving {args.requests} requests ({spec.mode} loop) "
+              f"on {g}{tier}")
         print(report.format())
     return 0
 
@@ -521,6 +533,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-dispatch transient fault probability")
     p.add_argument("--max-retries", type=int, default=3,
                    help="retry budget for transient serving faults")
+    p.add_argument("--shards", type=int, default=0,
+                   help="partition the graph across N shard groups "
+                        "(0 = single-pool serving)")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="replicas per shard group (with --shards)")
+    p.add_argument("--kill-schedule", default="",
+                   help="replica losses as at_ms:shard:replica[,...]; "
+                        "replica * kills the whole group")
+    p.add_argument("--no-hedge", action="store_true",
+                   help="disable hedged (duplicate) dispatch")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
     _add_obs_options(p)

@@ -51,12 +51,25 @@ class MultiMachine:
     k: int = 2
     spec: GPUSpec = field(default_factory=GPUSpec)
     interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+    #: pre-built per-device machines to account against instead of fresh
+    #: ones — the *replica-aware* configuration: the sharded serving tier
+    #: (:mod:`repro.serve.shard`) hands one replica machine per shard
+    #: group so fan-out compute lands on the replicas' own clocks while
+    #: this wrapper contributes only step-makespan + exchange accounting.
+    #: Overrides ``k`` (one slot per machine) when provided.
+    shared_devices: Optional[List[Machine]] = None
 
     def __post_init__(self) -> None:
-        if self.k < 1:
-            raise ValueError("need at least one device")
-        self.devices: List[Machine] = [Machine(spec=self.spec, device_index=i)
-                                       for i in range(self.k)]
+        if self.shared_devices is not None:
+            if not self.shared_devices:
+                raise ValueError("shared_devices must name at least one device")
+            self.k = len(self.shared_devices)
+            self.devices: List[Machine] = list(self.shared_devices)
+        else:
+            if self.k < 1:
+                raise ValueError("need at least one device")
+            self.devices = [Machine(spec=self.spec, device_index=i)
+                            for i in range(self.k)]
         self.alive: List[bool] = [True] * self.k
         self.comm_ms = 0.0
         self.comm_bytes = 0.0

@@ -28,7 +28,8 @@ from .export import (REQUIRED_EVENT_KEYS, chrome_trace, metrics_dump,
 from .metrics import (DEFAULT_LATENCY_BUCKETS_MS, DEFAULT_SIZE_BUCKETS,
                       Counter, Gauge, Histogram, MetricsRegistry)
 from .spans import (CAT_KERNEL, CAT_OPERATOR, CAT_PRIMITIVE, CAT_RECOVERY,
-                    CAT_SERVE, CAT_SUPERSTEP, NOOP_SPAN, InstantRecord,
+                    CAT_SERVE, CAT_SHARD, CAT_SUPERSTEP, NOOP_SPAN,
+                    InstantRecord,
                     Observer, Span, SpanRecord, Tracer, current_observer,
                     install, instant, is_enabled, metrics, notify_kernel,
                     observe, span)
@@ -38,7 +39,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS_MS", "DEFAULT_SIZE_BUCKETS",
     "Observer", "Span", "SpanRecord", "InstantRecord", "Tracer",
     "NOOP_SPAN", "CAT_PRIMITIVE", "CAT_SUPERSTEP", "CAT_OPERATOR",
-    "CAT_KERNEL", "CAT_SERVE", "CAT_RECOVERY",
+    "CAT_KERNEL", "CAT_SERVE", "CAT_RECOVERY", "CAT_SHARD",
     "observe", "install", "current_observer", "is_enabled", "span",
     "instant", "notify_kernel", "metrics",
     "chrome_trace", "write_chrome_trace", "validate_chrome_trace",

@@ -40,6 +40,8 @@ CAT_OPERATOR = "operator"
 CAT_KERNEL = "kernel"
 CAT_SERVE = "serve"
 CAT_RECOVERY = "recovery"
+#: sharded-tier events: breaker transitions, failovers, hedges, repairs
+CAT_SHARD = "shard"
 
 
 @dataclass

@@ -11,7 +11,7 @@ report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from ..obs.spans import (CAT_RECOVERY, instant as obs_instant,
                          metrics as obs_metrics)
@@ -22,21 +22,31 @@ class RetryPolicy:
     """Retry-with-exponential-backoff parameters.
 
     ``backoff_ms(attempt)`` is the simulated stall charged before retry
-    ``attempt`` (0-based): ``base_ms * multiplier ** attempt``.
+    ``attempt`` (0-based): ``base_ms * multiplier ** attempt``, capped at
+    ``max_backoff_ms`` when one is set.  The cap keeps high attempt
+    counts inside sane simulated horizons — uncapped, attempt 50 at the
+    defaults would stall for ~36 simulated years.
     """
 
     max_retries: int = 3
     base_ms: float = 1.0
     multiplier: float = 2.0
+    #: upper bound on any single backoff stall; ``None`` = uncapped
+    max_backoff_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.base_ms < 0 or self.multiplier < 1.0:
             raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.max_backoff_ms is not None and self.max_backoff_ms < 0:
+            raise ValueError("max_backoff_ms must be non-negative")
 
     def backoff_ms(self, attempt: int) -> float:
-        return self.base_ms * self.multiplier ** max(0, attempt)
+        raw = self.base_ms * self.multiplier ** max(0, attempt)
+        if self.max_backoff_ms is not None:
+            return min(raw, self.max_backoff_ms)
+        return raw
 
 
 @dataclass

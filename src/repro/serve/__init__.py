@@ -36,9 +36,14 @@ from .batcher import (Batch, BatchedQuery, DEFAULT_MAX_LANES, LaneResult,
 from .cache import CacheStats, ResultCache
 from .scheduler import DeadlineScheduler, Device, Overloaded
 from .service import (Completion, GraphService, Request, ServeReport,
-                      VersionedGraph)
+                      ShardedGraphService, VersionedGraph)
+from .shard import (BreakerPolicy, FANOUT, KillEvent, Replica, ShardGroup,
+                    ShardMap, ShardTier, build_shard_map, fanout_pagerank,
+                    parse_kill_schedule)
+from .shard_scheduler import ShardScheduler
 from .workload import (ClosedLoopDriver, Workload, WorkloadSpec,
-                       build_workload, zipf_popularity)
+                       build_workload, shard_hotspot_popularity,
+                       zipf_popularity)
 
 __all__ = [
     "Batch", "BatchedQuery", "DEFAULT_MAX_LANES", "LaneResult",
@@ -46,10 +51,14 @@ __all__ = [
     "execute_batch", "plan_batches", "query_key",
     "CacheStats", "ResultCache",
     "DeadlineScheduler", "Device", "Overloaded",
-    "Completion", "GraphService", "Request", "ServeReport", "VersionedGraph",
+    "Completion", "GraphService", "Request", "ServeReport",
+    "ShardedGraphService", "VersionedGraph",
+    "BreakerPolicy", "FANOUT", "KillEvent", "Replica", "ShardGroup",
+    "ShardMap", "ShardTier", "ShardScheduler", "build_shard_map",
+    "fanout_pagerank", "parse_kill_schedule",
     "ClosedLoopDriver", "Workload", "WorkloadSpec", "build_workload",
-    "zipf_popularity",
-    "run_serving",
+    "shard_hotspot_popularity", "zipf_popularity",
+    "run_serving", "run_sharded_serving",
 ]
 
 
@@ -78,3 +87,46 @@ def run_serving(graph: Csr, spec: WorkloadSpec, *, devices: int = 1,
                                    recovered_faults=scheduler.recovered_faults,
                                    retry_backoff_ms=scheduler.retry_backoff_ms,
                                    metrics=scheduler.metrics)
+
+
+def run_sharded_serving(graph: Csr, spec: WorkloadSpec, *,
+                        shards: int = 4, replicas: int = 2,
+                        max_queue: int = 64, batch_window_ms: float = 2.0,
+                        max_lanes: int = DEFAULT_MAX_LANES,
+                        cache_bytes: int = 64 << 20,
+                        retry: Optional[RetryPolicy] = None,
+                        fault_rate: float = 0.0,
+                        shard_method: str = "contiguous",
+                        hedging: bool = True,
+                        kill_schedule: str = "",
+                        breaker: Optional[BreakerPolicy] = None,
+                        popularity=None) -> ServeReport:
+    """Replay ``spec``'s workload on a sharded, replicated serving tier.
+
+    ``shards`` × ``replicas`` simulated devices serve the partitioned
+    graph; ``kill_schedule`` (``at_ms:shard:replica`` with ``*`` for a
+    whole group, comma-separated) injects permanent device losses;
+    ``max_queue`` bounds admission *per shard group*.  The report is a
+    pure function of the graph, the spec, and these knobs.
+    """
+    tier = ShardTier(shards, replicas,
+                     breaker=breaker if breaker is not None
+                     else BreakerPolicy())
+    service = ShardedGraphService(tier, shard_method=shard_method,
+                                  cache_bytes=cache_bytes)
+    service.load_graph(graph)
+    scheduler = ShardScheduler(
+        service, max_queue=max_queue, batch_window_ms=batch_window_ms,
+        max_lanes=max_lanes, retry=retry, fault_rate=fault_rate,
+        seed=spec.seed, hedging=hedging)
+    kills = parse_kill_schedule(kill_schedule, shards, replicas)
+    workload = build_workload(graph, spec, popularity=popularity)
+    completions = scheduler.replay(workload.initial_requests,
+                                   updates=workload.updates,
+                                   kills=kills,
+                                   on_complete=workload.driver)
+    return ServeReport.from_replay(completions, service,
+                                   recovered_faults=scheduler.recovered_faults,
+                                   retry_backoff_ms=scheduler.retry_backoff_ms,
+                                   metrics=scheduler.metrics,
+                                   shard=scheduler.shard_summary())

@@ -186,7 +186,8 @@ class DeadlineScheduler:
                     except Overloaded:
                         done = Completion(req.rid, req.primitive,
                                           req.arrival_ms, now, "shed",
-                                          deadline_met=False)
+                                          deadline_met=False,
+                                          reason="queue_full")
                         self._complete(done)
                     if done is not None:
                         finished.append(done)
@@ -242,7 +243,8 @@ class DeadlineScheduler:
                 if req.absolute_deadline_ms < now:
                     done = Completion(req.rid, req.primitive, req.arrival_ms,
                                       now, "deadline_drop",
-                                      deadline_met=False)
+                                      deadline_met=False,
+                                      reason="deadline_passed")
                     finished.append(self._complete(done))
                 elif self.service.lookup(req) is not None:
                     # an earlier batch filled the cache while this waited

@@ -25,6 +25,7 @@ from ..graph.csr import Csr
 from .batcher import (Batch, LaneResult, SERVED_PRIMITIVES, execute_batch,
                       query_key)
 from .cache import ResultCache
+from .shard import FANOUT, ShardMap, ShardTier, build_shard_map, route_vertex
 
 DEFAULT_GRAPH = "default"
 
@@ -63,10 +64,15 @@ class Completion:
     primitive: str
     arrival_ms: float
     finish_ms: float
-    outcome: str          # "ok" | "cache_hit" | "shed" | "deadline_drop"
+    outcome: str          # "ok" | "cache_hit" | "partial" | "shed"
+    #                     # | "deadline_drop" | "failed"
     batch_lanes: int = 0  # lanes of the executing batch (0 = not executed)
     device: int = -1
     deadline_met: bool = True
+    #: typed cause for non-ok outcomes — "queue_full", "deadline_passed",
+    #: "shard_down", "retries_exhausted", "degraded" — so a report can
+    #: separate overload shedding from shard-loss shedding
+    reason: str = ""
 
     @property
     def latency_ms(self) -> float:
@@ -74,7 +80,9 @@ class Completion:
 
     @property
     def served(self) -> bool:
-        return self.outcome in ("ok", "cache_hit")
+        """A reply reached the client ("partial" replies are degraded
+        fan-outs: live shards' bytes, typed-missing NaN for the rest)."""
+        return self.outcome in ("ok", "cache_hit", "partial")
 
 
 @dataclass
@@ -154,6 +162,108 @@ class GraphService:
         return {p: dict(sorted(h.items())) for p, h in sorted(out.items())}
 
 
+class ShardedGraphService(GraphService):
+    """A :class:`GraphService` whose graphs are partitioned over a
+    :class:`~repro.serve.shard.ShardTier`.
+
+    Each loaded graph carries a :class:`~repro.serve.shard.ShardMap`
+    (vertex→shard ownership).  Routing sends a single-source query to
+    the shard owning its source vertex and whole-graph queries to
+    :data:`~repro.serve.shard.FANOUT`.  Cache keys are prefixed with the
+    *owning shard at insert time*, so after a repair re-homes vertices
+    the old shard's entries simply become unreachable misses — the
+    stale-unreachable-by-construction contract extends to repairs.
+
+    Execution results are **not** cached at dispatch time: the sharded
+    scheduler commits them via :meth:`commit_results` only when the
+    execution actually completes (a hedged loser or a killed replica's
+    in-flight work must never populate the cache).
+    """
+
+    def __init__(self, tier: ShardTier, *, shard_method: str = "contiguous",
+                 cache_bytes: int = 64 << 20):
+        super().__init__(cache_bytes=cache_bytes)
+        self.tier = tier
+        self.shard_method = shard_method
+        self.maps: Dict[str, ShardMap] = {}
+
+    # -- graph lifecycle ---------------------------------------------------
+
+    def load_graph(self, csr: Csr, name: str = DEFAULT_GRAPH) -> VersionedGraph:
+        vg = super().load_graph(csr, name)
+        self.maps[name] = build_shard_map(
+            csr, self.tier.shards, self.shard_method, self.tier.dead_order,
+            epoch=len(self.tier.dead_order))
+        return vg
+
+    def update_graph(self, csr: Csr, name: str = DEFAULT_GRAPH) -> VersionedGraph:
+        vg = super().update_graph(csr, name)
+        self.maps[name] = build_shard_map(
+            csr, self.tier.shards, self.shard_method, self.tier.dead_order,
+            epoch=len(self.tier.dead_order))
+        return vg
+
+    def rebuild_maps(self) -> None:
+        """Re-derive every graph's ownership map after a repair extended
+        ``tier.dead_order`` (the redistribute cascade is replayed from
+        scratch, so maps are identical however many repairs batch up)."""
+        for name, vg in self.graphs.items():
+            self.maps[name] = build_shard_map(
+                vg.csr, self.tier.shards, self.shard_method,
+                self.tier.dead_order, epoch=len(self.tier.dead_order))
+
+    def shard_map(self, name: str = DEFAULT_GRAPH) -> ShardMap:
+        sm = self.maps.get(name)
+        if sm is None:
+            raise KeyError(f"no graph loaded under {name!r}")
+        return sm
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, request: Request) -> int:
+        """Owning shard of the request (:data:`FANOUT` = whole-graph)."""
+        vertex = route_vertex(request.primitive, request.params)
+        if vertex is None:
+            return FANOUT
+        sm = self.shard_map(request.graph)
+        if not 0 <= vertex < len(sm.owner):
+            raise ValueError(f"request {request.rid}: vertex {vertex} out "
+                             f"of range for graph {request.graph!r}")
+        return sm.shard_of(vertex)
+
+    # -- query path --------------------------------------------------------
+
+    def _shard_key(self, sid: int, key: Tuple) -> Tuple:
+        return (("shard", sid),) + key
+
+    def lookup_sharded(self, request: Request, sid: int
+                       ) -> Optional[LaneResult]:
+        vg = self.graph_version(request.graph)
+        return self.cache.get(vg.name, vg.version,
+                              self._shard_key(sid, request.key))
+
+    def run_batch_on(self, graph_name: str, batch: Batch, machine
+                     ) -> Tuple[Dict[Tuple, LaneResult], int]:
+        """Execute one batch on a replica's machine; returns the results
+        plus the graph version they were computed against.  Nothing is
+        cached here — see :meth:`commit_results`."""
+        vg = self.graph_version(graph_name)
+        results = execute_batch(vg.csr, batch, machine=machine)
+        self.executed_batches.append((batch.primitive, batch.lanes))
+        return results, vg.version
+
+    def commit_results(self, graph_name: str, version: int, sid: int,
+                       results: Dict[Tuple, LaneResult]) -> None:
+        """Cache a completed execution's lanes, keyed by owning shard —
+        skipped entirely when the graph has moved past ``version``."""
+        vg = self.graph_version(graph_name)
+        if vg.version != version:
+            return
+        for key, payload in results.items():
+            self.cache.put(vg.name, vg.version, self._shard_key(sid, key),
+                           payload, payload.nbytes)
+
+
 @dataclass
 class ServeReport:
     """Aggregate replay metrics — the ``repro serve`` output."""
@@ -182,12 +292,28 @@ class ServeReport:
     #: unlike the exact sample percentiles above
     latency_histogram: Dict[str, Dict[str, float]] = field(
         default_factory=dict)
+    #: requests whose execution exhausted its failover budget
+    failed: int = 0
+    #: degraded fan-out replies (some shard group down; NaN for its vertices)
+    partials: int = 0
+    #: per-primitive outcome counts, e.g. {"bfs": {"ok": 40, "shed": 2}}
+    by_primitive: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: per-primitive typed causes of every non-served completion, e.g.
+    #: {"bfs": {"queue_full": 2, "shard_down": 1}}
+    shed_reasons: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: sharded-tier section (empty for single-node serving)
+    shard: Dict[str, object] = field(default_factory=dict)
+
+    #: fallback reasons for completions recorded before reasons existed
+    _LEGACY_REASONS = {"shed": "queue_full", "deadline_drop":
+                       "deadline_passed", "failed": "error"}
 
     @classmethod
     def from_replay(cls, completions: List[Completion], service: GraphService,
                     recovered_faults: int = 0,
                     retry_backoff_ms: float = 0.0,
-                    metrics=None) -> "ServeReport":
+                    metrics=None, shard: Optional[Dict] = None
+                    ) -> "ServeReport":
         served = [c for c in completions if c.served]
         latencies = np.array([c.latency_ms for c in served], dtype=np.float64)
         if len(served):
@@ -206,6 +332,16 @@ class ServeReport:
             for lk, hist in metrics.samples("repro_serve_latency_ms"):
                 primitive = dict(lk).get("primitive", "")
                 latency_histogram[primitive] = hist.percentiles()
+        by_primitive: Dict[str, Dict[str, int]] = {}
+        shed_reasons: Dict[str, Dict[str, int]] = {}
+        for c in completions:
+            bp = by_primitive.setdefault(c.primitive, {})
+            bp[c.outcome] = bp.get(c.outcome, 0) + 1
+            if not c.served:
+                reason = c.reason or cls._LEGACY_REASONS.get(
+                    c.outcome, "error")
+                sr = shed_reasons.setdefault(c.primitive, {})
+                sr[reason] = sr.get(reason, 0) + 1
         stats = service.cache.stats
         return cls(
             requests=len(completions),
@@ -228,6 +364,13 @@ class ServeReport:
             retry_backoff_ms=retry_backoff_ms,
             cache=stats.as_dict(),
             latency_histogram=latency_histogram,
+            failed=sum(1 for c in completions if c.outcome == "failed"),
+            partials=sum(1 for c in completions if c.outcome == "partial"),
+            by_primitive={p: dict(sorted(h.items()))
+                          for p, h in sorted(by_primitive.items())},
+            shed_reasons={p: dict(sorted(h.items()))
+                          for p, h in sorted(shed_reasons.items())},
+            shard=dict(shard) if shard else {},
         )
 
     def as_dict(self) -> Dict:
@@ -255,6 +398,14 @@ class ServeReport:
             "latency_histogram": {
                 p: {q: round(v, 6) for q, v in sorted(qs.items())}
                 for p, qs in sorted(self.latency_histogram.items())},
+            "failed": self.failed,
+            "partials": self.partials,
+            "by_primitive": {p: dict(sorted(h.items()))
+                             for p, h in sorted(self.by_primitive.items())},
+            "shed_reasons": {p: dict(sorted(h.items()))
+                             for p, h in sorted(self.shed_reasons.items())},
+            "shard": {k: (round(v, 6) if isinstance(v, float) else v)
+                      for k, v in sorted(self.shard.items())},
         }
 
     def format(self) -> str:
@@ -273,9 +424,24 @@ class ServeReport:
             f"{'stale hits':<22}{self.stale_hits}",
             f"{'executed batches':<22}{self.executed_batches}",
         ]
+        if self.failed:
+            lines.append(f"{'failed':<22}{self.failed}")
+        if self.partials:
+            lines.append(f"{'partial replies':<22}{self.partials}")
         if self.recovered_faults:
             lines.append(f"{'recovered faults':<22}{self.recovered_faults} "
                          f"(backoff {self.retry_backoff_ms:.1f} ms)")
+        if self.shed_reasons:
+            lines.append("shed/drop/fail reasons per primitive:")
+            for prim, reasons in sorted(self.shed_reasons.items()):
+                spread = "  ".join(f"{r}x{c}"
+                                   for r, c in sorted(reasons.items()))
+                lines.append(f"  {prim:<10}{spread}")
+        if self.shard:
+            lines.append("shard tier:")
+            for k, v in sorted(self.shard.items()):
+                val = f"{v:.3f}" if isinstance(v, float) else v
+                lines.append(f"  {k:<20}{val}")
         lines.append("batch sizes per primitive:")
         for prim, hist in self.batch_histogram.items():
             spread = "  ".join(f"{lanes}x{count}"

@@ -95,6 +95,23 @@ def zipf_popularity(graph: Csr, s: float) -> np.ndarray:
     return p / p.sum()
 
 
+def shard_hotspot_popularity(graph: Csr, owner: np.ndarray, sid: int,
+                             boost: float, s: float = 1.1) -> np.ndarray:
+    """Zipf popularity with one shard's vertices ``boost``× hotter.
+
+    The sharded tier's skew stressor: with ``owner`` from a
+    :class:`~repro.serve.shard.ShardMap` this concentrates traffic on
+    shard ``sid`` so its per-shard queue bound (not the whole tier)
+    absorbs the hotspot.
+    """
+    if boost <= 0:
+        raise ValueError("boost must be positive")
+    p = zipf_popularity(graph, s)
+    scale = np.where(np.asarray(owner) == sid, boost, 1.0)
+    p = p * scale
+    return p / p.sum()
+
+
 @dataclass
 class Workload:
     """A fully materialized workload, ready for the scheduler to replay."""
@@ -148,13 +165,22 @@ def _draw_params(primitive: str, vertex: int, spec: WorkloadSpec) -> Dict:
 
 
 def build_workload(graph: Csr, spec: WorkloadSpec,
-                   graph_name: str = "default") -> Workload:
-    """Materialize a request stream (and update schedule) for ``graph``."""
+                   graph_name: str = "default",
+                   popularity: Optional[np.ndarray] = None) -> Workload:
+    """Materialize a request stream (and update schedule) for ``graph``.
+
+    ``popularity`` overrides the default Zipf-over-degree-rank source
+    distribution (must sum to 1 over the graph's vertices) — e.g. a
+    :func:`shard_hotspot_popularity` skew.
+    """
     rng = np.random.default_rng(spec.seed)
     prims = sorted(p for p, w in spec.mix.items() if w > 0)
     weights = np.array([spec.mix[p] for p in prims], dtype=np.float64)
     weights /= weights.sum()
-    popularity = zipf_popularity(graph, spec.zipf_s)
+    if popularity is None:
+        popularity = zipf_popularity(graph, spec.zipf_s)
+    elif len(popularity) != graph.n:
+        raise ValueError("popularity override must cover every vertex")
 
     chosen = rng.choice(len(prims), size=spec.requests, p=weights)
     vertices = rng.choice(graph.n, size=spec.requests, p=popularity)

@@ -262,6 +262,30 @@ def test_retry_policy_validation():
     assert p.backoff_ms(2) == 18.0
 
 
+def test_retry_backoff_cap_honored():
+    p = RetryPolicy(base_ms=2.0, multiplier=3.0, max_backoff_ms=10.0)
+    assert p.backoff_ms(0) == 2.0
+    assert p.backoff_ms(1) == 6.0
+    assert p.backoff_ms(2) == 10.0   # 18.0 clipped to the cap
+    assert p.backoff_ms(9) == 10.0
+
+
+def test_retry_backoff_monotone_under_cap():
+    p = RetryPolicy(base_ms=1.0, multiplier=2.0, max_backoff_ms=5.0)
+    delays = [p.backoff_ms(a) for a in range(8)]
+    assert all(b >= a for a, b in zip(delays, delays[1:]))
+    assert max(delays) == 5.0
+
+
+def test_retry_backoff_cap_deterministic_and_validated():
+    a = RetryPolicy(base_ms=1.5, multiplier=2.5, max_backoff_ms=7.0)
+    b = RetryPolicy(base_ms=1.5, multiplier=2.5, max_backoff_ms=7.0)
+    assert [a.backoff_ms(i) for i in range(6)] \
+        == [b.backoff_ms(i) for i in range(6)]
+    with pytest.raises(ValueError):
+        RetryPolicy(max_backoff_ms=-1.0)
+
+
 # -- multi-GPU recovery -------------------------------------------------------
 
 
@@ -330,6 +354,39 @@ def test_redistribute_reassigns_only_dead_vertices(g):
     assert not np.any(pg2.owner == 1)
     assert sum(p.n_local for p in pg2.parts) == g.n
     assert sum(p.m_local for p in pg2.parts) == g.m
+
+
+def test_redistribute_k2_to_single_survivor(g):
+    pg = partition_1d(g, 2)
+    pg2 = redistribute(pg, 0, [1])
+    assert pg2.parts[0].n_local == 0
+    assert np.all(pg2.owner == 1)
+    assert pg2.parts[1].n_local == g.n
+    assert pg2.parts[1].m_local == g.m
+
+
+def test_redistribute_cascading_deaths_conserve_graph(g):
+    # kill parts one at a time until a single survivor holds everything;
+    # vertex and edge counts must be conserved at every stage
+    pg = partition_1d(g, 4)
+    alive = [0, 1, 2, 3]
+    for dead in (2, 0, 3):
+        alive.remove(dead)
+        pg = redistribute(pg, dead, alive)
+        assert sum(p.n_local for p in pg.parts) == g.n
+        assert sum(p.m_local for p in pg.parts) == g.m
+        assert pg.parts[dead].n_local == 0
+        assert set(np.unique(pg.owner)) <= set(alive)
+    assert alive == [1]
+    assert pg.parts[1].n_local == g.n
+
+
+def test_redistribute_cascade_keeps_slot_count(g):
+    pg = partition_1d(g, 3)
+    pg2 = redistribute(redistribute(pg, 1, [0, 2]), 2, [0])
+    assert len(pg2.parts) == 3      # dead slots stay, empty
+    assert pg2.k == pg.k
+    assert np.all(pg2.owner == 0)
 
 
 def test_redistribute_rejects_bad_args(g):
