@@ -1,0 +1,162 @@
+"""Streaming-mutation baseline: repair vs recompute, serve under updates.
+
+Pins the two numbers that justify the delta-CSR subsystem, the way
+``BENCH_serve.json`` pins the serving layer:
+
+* **repair_vs_recompute** — for a seed-deterministic structural delta of
+  each size, the simulated cost of repairing a warm BFS/SSSP/PageRank
+  answer through :func:`~repro.dynamic.incremental.repair_payload`
+  against recomputing it from scratch on the compacted graph.  Small
+  deltas must make repair much cheaper (≥5× at ≤1% of edges); large
+  deltas are allowed (expected, even) to fall back to recompute.
+* **serve_under_updates** — the same update-heavy serving workload
+  replayed twice: once with invalidate-everything version bumps, once
+  with the incremental delta path (cache carry + background repair).
+  The incremental run must strictly improve tail latency.
+
+Everything runs in simulated time from fixed seeds, so the emitted
+``benchmarks/BENCH_dynamic.json`` is byte-stable across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dynamic.delta import DeltaCsr, random_mutation_batch
+from repro.dynamic.incremental import repair_payload
+from repro.graph import generators, with_random_weights
+from repro.primitives import bfs, pagerank, sssp
+from repro.serve import WorkloadSpec, run_serving
+from repro.simt import Machine
+
+OUT_PATH = Path(__file__).parent / "BENCH_dynamic.json"
+
+GRAPH_SCALE = 11
+GRAPH_SEED = 3
+WEIGHT_SEED = 5
+SRC = 17
+DELTA_FRACS = [0.0001, 0.001, 0.01, 0.1]
+
+
+def _graph():
+    return with_random_weights(
+        generators.kronecker(GRAPH_SCALE, seed=GRAPH_SEED), seed=WEIGHT_SEED)
+
+
+def _warm_arrays(g) -> dict:
+    return {
+        "bfs": dict(bfs(g, SRC, idempotent=False, direction="push").arrays),
+        "sssp": dict(sssp(g, SRC, use_priority_queue=False).arrays),
+        "pagerank": dict(pagerank(g).arrays),
+    }
+
+
+def _scratch_ms(prim: str, snap) -> float:
+    m = Machine()
+    if prim == "bfs":
+        bfs(snap, SRC, idempotent=False, direction="push", machine=m)
+    elif prim == "sssp":
+        sssp(snap, SRC, use_priority_queue=False, machine=m)
+    else:
+        pagerank(snap, machine=m)
+    return m.elapsed_ms()
+
+
+def _repair_vs_recompute(g, fracs) -> list:
+    warm = _warm_arrays(g)
+    params = {"bfs": {"src": SRC}, "sssp": {"src": SRC}, "pagerank": {}}
+    rows = []
+    for frac in fracs:
+        batch = random_mutation_batch(g, seed=1000 + int(1e6 * frac),
+                                      frac=frac)
+        delta = DeltaCsr(g)
+        delta.apply(batch)
+        snap = delta.snapshot()  # compaction cost excluded from both sides
+        for prim in ("bfs", "sssp", "pagerank"):
+            m = Machine()
+            _, repaired = repair_payload(prim, params[prim],
+                                         dict(warm[prim]), g, delta,
+                                         batch, machine=m)
+            repair_ms = m.elapsed_ms()
+            scratch_ms = _scratch_ms(prim, snap)
+            rows.append({
+                "delta_frac": frac,
+                "mutations": batch.size,
+                "primitive": prim,
+                "incremental": bool(repaired),
+                "repair_ms": round(repair_ms, 6),
+                "recompute_ms": round(scratch_ms, 6),
+                "speedup": round(scratch_ms / repair_ms, 6)
+                if repair_ms > 0 else float("inf"),
+            })
+    return rows
+
+
+def _serve_fields(report) -> dict:
+    d = report.as_dict()
+    out = {k: d[k] for k in (
+        "requests", "served", "cache_hits", "deadline_drops",
+        "throughput_rps", "p50_ms", "p99_ms", "hit_rate", "stale_hits")}
+    out["dynamic"] = d["dynamic"]
+    return out
+
+
+def _serve_under_updates(g) -> dict:
+    spec = WorkloadSpec(requests=400, seed=11, updates=8,
+                        update_interval_ms=15.0, update_kind="edges",
+                        delta_frac=0.005, arrival_rate_rps=3000.0)
+    baseline = run_serving(g, spec, devices=2, incremental=False)
+    incremental = run_serving(g, spec, devices=2, incremental=True)
+    return {
+        "spec": {"requests": spec.requests, "seed": spec.seed,
+                 "updates": spec.updates, "update_kind": spec.update_kind,
+                 "delta_frac": spec.delta_frac},
+        "invalidate_everything": _serve_fields(baseline),
+        "incremental": _serve_fields(incremental),
+    }
+
+
+def build_baseline(quick: bool = False) -> dict:
+    g = _graph()
+    fracs = DELTA_FRACS[1:3] if quick else DELTA_FRACS
+    return {
+        "schema_version": 1,
+        "graph": {"generator": f"kron:{GRAPH_SCALE}", "seed": GRAPH_SEED,
+                  "weight_seed": WEIGHT_SEED, "n": int(g.n), "m": int(g.m)},
+        "repair_vs_recompute": _repair_vs_recompute(g, fracs),
+        "serve_under_updates": _serve_under_updates(g),
+    }
+
+
+def test_emit_baseline():
+    baseline = build_baseline()
+    OUT_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    # repair must beat recompute soundly for small deltas (the ≤1% rows)
+    for row in baseline["repair_vs_recompute"]:
+        if row["delta_frac"] <= 0.01 and row["incremental"]:
+            assert row["speedup"] >= 5.0, row
+    small = [r for r in baseline["repair_vs_recompute"]
+             if r["delta_frac"] <= 0.01]
+    assert sum(r["incremental"] for r in small) >= len(small) - 1
+    # incremental serving strictly improves the tail under updates
+    served = baseline["serve_under_updates"]
+    assert (served["incremental"]["p99_ms"]
+            < served["invalidate_everything"]["p99_ms"])
+    assert (served["incremental"]["cache_hits"]
+            >= served["invalidate_everything"]["cache_hits"])
+    assert served["incremental"]["stale_hits"] == 0
+
+
+def test_baseline_is_deterministic():
+    assert build_baseline(quick=True) == build_baseline(quick=True)
+
+
+if __name__ == "__main__":
+    import argparse
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--quick", action="store_true",
+                    help="two delta sizes instead of four")
+    print(json.dumps(build_baseline(quick=ap.parse_args().quick),
+                     indent=2, sort_keys=True))

@@ -400,7 +400,8 @@ def cmd_serve(args) -> int:
         arrival_rate_rps=args.rate, clients=args.clients,
         think_ms=args.think_ms, zipf_s=args.zipf,
         deadline_scale=args.deadline_scale,
-        updates=args.updates, update_interval_ms=args.update_interval)
+        updates=args.updates, update_interval_ms=args.update_interval,
+        update_kind=args.update_kind, delta_frac=args.delta_frac)
     with _obs_context(args) as observer:
         if args.shards > 0:
             report = run_sharded_serving(
@@ -409,14 +410,16 @@ def cmd_serve(args) -> int:
                 max_lanes=args.max_lanes, cache_bytes=args.cache_mb << 20,
                 retry=RetryPolicy(max_retries=args.max_retries),
                 fault_rate=args.fault_rate, hedging=not args.no_hedge,
-                kill_schedule=args.kill_schedule)
+                kill_schedule=args.kill_schedule,
+                incremental=args.incremental)
         else:
             report = run_serving(
                 g, spec, devices=args.devices, max_queue=args.max_queue,
                 batch_window_ms=args.window, max_lanes=args.max_lanes,
                 cache_bytes=args.cache_mb << 20,
                 retry=RetryPolicy(max_retries=args.max_retries),
-                fault_rate=args.fault_rate)
+                fault_rate=args.fault_rate,
+                incremental=args.incremental)
     _export_obs(args, observer, extra={"report": report.as_dict()})
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -529,6 +532,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="graph-version bumps interleaved with traffic")
     p.add_argument("--update-interval", type=float, default=50.0,
                    help="simulated ms between graph updates")
+    p.add_argument("--update-kind", choices=("weights", "edges"),
+                   default="weights",
+                   help="graph mutation per update: re-randomized edge "
+                        "weights, or a structural insert/delete delta")
+    p.add_argument("--delta-frac", type=float, default=0.005,
+                   help="edge fraction mutated per structural update")
+    p.add_argument("--incremental", action="store_true",
+                   help="apply updates through the delta-CSR path: carry "
+                        "provably-unchanged cache entries and repair warm "
+                        "ones in the background instead of invalidating "
+                        "everything")
     p.add_argument("--fault-rate", type=float, default=0.0,
                    help="per-dispatch transient fault probability")
     p.add_argument("--max-retries", type=int, default=3,

@@ -225,6 +225,38 @@ class Csr:
         return Csr(self.indptr, self.indices, np.asarray(values), n=self.n,
                    validate=False)
 
+    def share_topology_caches(self, src: "Csr") -> None:
+        """Adopt ``src``'s topology-derived caches (degrees, iota ramps,
+        edge sources, the CSC *structure*) into this graph.
+
+        Used by the delta-CSR compaction path when a mutation batch was
+        weight-only: the new snapshot shares ``indptr``/``indices`` with
+        its base by construction, so every cache keyed on topology alone
+        is still valid and re-deriving it (an O(m) argsort for the CSC)
+        would be pure waste.  Weight-dependent caches (``weights64``, CSC
+        edge values) are rebuilt from the new weights.
+        """
+        if src.indptr is not self.indptr or src.indices is not self.indices:
+            raise ValueError("share_topology_caches requires identical "
+                             "topology arrays (same objects)")
+        if src._edge_sources is not None:
+            self._edge_sources = src._edge_sources
+        if src._artifacts is not None:
+            mine = self.artifacts
+            mine._out_degrees = src._artifacts._out_degrees
+            mine._iota_n = src._artifacts._iota_n
+            mine._iota_m = src._artifacts._iota_m
+        if src._csc is not None and self._csc is None:
+            old = src._csc
+            order = old.edge_props["orig_edge"]
+            vals = None if self.edge_values is None \
+                else np.ascontiguousarray(self.edge_values)[order]
+            csc = Csr(old.indptr, old.indices, vals, n=self.n,
+                      validate=False)
+            csc.edge_props["orig_edge"] = order
+            csc._csc = self
+            self._csc = csc
+
     # -- memory audit (Section 6: data size = alpha*|E| + beta*|V|) ----------
 
     def nbytes(self) -> int:

@@ -42,6 +42,8 @@ CAT_SERVE = "serve"
 CAT_RECOVERY = "recovery"
 #: sharded-tier events: breaker transitions, failovers, hedges, repairs
 CAT_SHARD = "shard"
+#: streaming-graph events: delta compactions, incremental result repair
+CAT_DYNAMIC = "dynamic"
 
 
 @dataclass

@@ -67,18 +67,23 @@ def run_serving(graph: Csr, spec: WorkloadSpec, *, devices: int = 1,
                 max_lanes: int = DEFAULT_MAX_LANES,
                 cache_bytes: int = 64 << 20,
                 retry: Optional[RetryPolicy] = None,
-                fault_rate: float = 0.0) -> ServeReport:
+                fault_rate: float = 0.0,
+                incremental: bool = False) -> ServeReport:
     """Build a service, replay ``spec``'s workload on ``graph``, report.
 
     One call = one deterministic serving experiment: the report is a
     pure function of the graph and the spec (plus these knobs).
+    ``incremental`` turns graph updates into delta applications with
+    background repair of warm cache entries instead of
+    invalidate-everything version bumps.
     """
     service = GraphService(cache_bytes=cache_bytes)
     service.load_graph(graph)
     scheduler = DeadlineScheduler(
         service, devices=devices, max_queue=max_queue,
         batch_window_ms=batch_window_ms, max_lanes=max_lanes,
-        retry=retry, fault_rate=fault_rate, seed=spec.seed)
+        retry=retry, fault_rate=fault_rate, seed=spec.seed,
+        incremental=incremental)
     workload = build_workload(graph, spec)
     completions = scheduler.replay(workload.initial_requests,
                                    updates=workload.updates,
@@ -86,7 +91,8 @@ def run_serving(graph: Csr, spec: WorkloadSpec, *, devices: int = 1,
     return ServeReport.from_replay(completions, service,
                                    recovered_faults=scheduler.recovered_faults,
                                    retry_backoff_ms=scheduler.retry_backoff_ms,
-                                   metrics=scheduler.metrics)
+                                   metrics=scheduler.metrics,
+                                   dynamic=scheduler.dynamic_summary())
 
 
 def run_sharded_serving(graph: Csr, spec: WorkloadSpec, *,
@@ -100,7 +106,8 @@ def run_sharded_serving(graph: Csr, spec: WorkloadSpec, *,
                         hedging: bool = True,
                         kill_schedule: str = "",
                         breaker: Optional[BreakerPolicy] = None,
-                        popularity=None) -> ServeReport:
+                        popularity=None,
+                        incremental: bool = False) -> ServeReport:
     """Replay ``spec``'s workload on a sharded, replicated serving tier.
 
     ``shards`` × ``replicas`` simulated devices serve the partitioned
@@ -118,7 +125,7 @@ def run_sharded_serving(graph: Csr, spec: WorkloadSpec, *,
     scheduler = ShardScheduler(
         service, max_queue=max_queue, batch_window_ms=batch_window_ms,
         max_lanes=max_lanes, retry=retry, fault_rate=fault_rate,
-        seed=spec.seed, hedging=hedging)
+        seed=spec.seed, hedging=hedging, incremental=incremental)
     kills = parse_kill_schedule(kill_schedule, shards, replicas)
     workload = build_workload(graph, spec, popularity=popularity)
     completions = scheduler.replay(workload.initial_requests,
@@ -129,4 +136,5 @@ def run_sharded_serving(graph: Csr, spec: WorkloadSpec, *,
                                    recovered_faults=scheduler.recovered_faults,
                                    retry_backoff_ms=scheduler.retry_backoff_ms,
                                    metrics=scheduler.metrics,
-                                   shard=scheduler.shard_summary())
+                                   shard=scheduler.shard_summary(),
+                                   dynamic=scheduler.dynamic_summary())

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -28,6 +28,8 @@ class CacheStats:
     invalidated: int = 0          # entries swept by graph-version bumps
     stale_rejections: int = 0     # lookups that matched an entry from a
     # dead graph version (always 0 by construction; tracked defensively)
+    carried: int = 0              # entries re-keyed across a version bump
+    # because the mutation provably could not change their results
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -42,6 +44,7 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidated": self.invalidated,
             "stale_rejections": self.stale_rejections,
+            "carried": self.carried,
         }
 
 
@@ -104,6 +107,35 @@ class ResultCache:
             self.bytes_used -= victim.nbytes
             self.stats.evictions += 1
         return True
+
+    def entries_for(self, graph: str, version: int
+                    ) -> List[Tuple[Tuple, object]]:
+        """``(query_key, payload)`` pairs live for one graph version, in
+        LRU→MRU order — the incremental update path reads this *before*
+        the version bump to pick which warm entries to repair."""
+        return [(k[2], e.payload) for k, e in self._entries.items()
+                if e.graph == graph and e.version == version]
+
+    def carry_version(self, graph: str, old_version: int, new_version: int,
+                      keep: Callable[[Tuple], bool]) -> int:
+        """Re-key entries whose result provably survives a version bump.
+
+        ``keep(query_key)`` implements the cache-retention rule (e.g. a
+        weight-only mutation cannot change a weight-insensitive
+        primitive's answer).  Carried entries keep their payloads and
+        their relative recency; everything else is left for the
+        subsequent :meth:`invalidate_graph` sweep.  Returns the count.
+        """
+        moved = 0
+        for k in [k for k, e in self._entries.items()
+                  if e.graph == graph and e.version == old_version
+                  and keep(k[2])]:
+            entry = self._entries.pop(k)
+            entry.version = int(new_version)
+            self._entries[self._key(graph, new_version, k[2])] = entry
+            moved += 1
+        self.stats.carried += moved
+        return moved
 
     def invalidate_graph(self, graph: str,
                          keep_version: Optional[int] = None) -> int:

@@ -33,13 +33,17 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..dynamic.delta import (MutationBatch, REPAIRABLE_PRIMITIVES,
+                             unaffected_primitives, unwrap_update)
+from ..dynamic.incremental import repair_payload
 from ..graph.csr import Csr
 from ..obs.metrics import MetricsRegistry
-from ..obs.spans import CAT_SERVE, current_observer, span as obs_span
+from ..obs.spans import (CAT_DYNAMIC, CAT_SERVE, current_observer,
+                         span as obs_span)
 from ..resilience.recovery import RetryPolicy
 from ..simt.machine import Machine
-from .batcher import DEFAULT_MAX_LANES, plan_batches
-from .service import Completion, GraphService, Request
+from .batcher import DEFAULT_MAX_LANES, LaneResult, plan_batches
+from .service import Completion, GraphService, Request, key_primitive
 
 #: event kinds, in processing order at equal timestamps: graph updates
 #: land before arrivals so a coinciding request sees the new version
@@ -55,6 +59,28 @@ class Overloaded(RuntimeError):
         self.rid = rid
         self.queue_depth = queue_depth
         self.limit = limit
+
+
+@dataclass
+class RepairJob:
+    """One background repair: re-derive a warm cache entry after an
+    incremental graph update instead of letting it go cold.
+
+    Captures everything the repair algorithm needs *at update time*:
+    the pre-update arrays and graph, the mutation batch, and the target
+    version — a later update makes the job stale (version guard drops
+    it; a fresher job for the same key was queued by that update).
+    """
+
+    graph: str
+    version: int            # graph version the repaired entry targets
+    key: Tuple              # cache query key to repopulate
+    primitive: str
+    params: Dict
+    old_arrays: Dict        # pre-update result arrays
+    old_csr: Csr            # pre-update topology (for retraction scans)
+    batch: MutationBatch
+    sid: int = -1           # owning shard (sharded tier only)
 
 
 @dataclass
@@ -77,7 +103,9 @@ class DeadlineScheduler:
                  batch_window_ms: float = 2.0,
                  max_lanes: int = DEFAULT_MAX_LANES,
                  retry: Optional[RetryPolicy] = None,
-                 fault_rate: float = 0.0, seed: int = 0):
+                 fault_rate: float = 0.0, seed: int = 0,
+                 incremental: bool = False,
+                 max_repairs_per_update: int = 32):
         if devices < 1:
             raise ValueError("need at least one device")
         if max_queue < 1:
@@ -99,6 +127,18 @@ class DeadlineScheduler:
         self.retry_backoff_ms = 0.0
         self._heap: List[Tuple[float, int, int, object]] = []
         self._seq = 0
+        # streaming-update state: repair jobs run as background work on
+        # idle devices after foreground dispatch each tick
+        self.incremental = incremental
+        self.max_repairs_per_update = max_repairs_per_update
+        self._repair_jobs: Deque[RepairJob] = deque()
+        self.graph_updates = 0
+        self.incremental_updates = 0
+        self.repairs_incremental = 0
+        self.repair_fallbacks = 0
+        self.stale_repairs = 0
+        self.repair_ms = 0.0
+        self.compaction_ms = 0.0
         # per-primitive latency histograms + outcome counters: recorded
         # into the process-wide observer's registry when one is installed
         # (so `repro serve --metrics` sees them), else a private one —
@@ -157,16 +197,18 @@ class DeadlineScheduler:
                ) -> List[Completion]:
         """Run the full event loop; returns every request's completion.
 
-        ``updates`` are ``(at_ms, graph_name, new_csr)`` graph-version
-        bumps; ``on_complete`` (closed-loop workloads) may return the
-        originating client's next request.
+        ``updates`` are ``(at_ms, graph_name, payload)`` graph-version
+        bumps, where the payload is a new ``Csr`` or a
+        :class:`~repro.dynamic.delta.GraphUpdate` carrying the mutation
+        batch for the incremental path; ``on_complete`` (closed-loop
+        workloads) may return the originating client's next request.
         """
         by_rid: Dict[int, Request] = {}
         for req in requests:
             by_rid[req.rid] = req
             self._push(req.arrival_ms, _EV_ARRIVAL, req)
-        for at_ms, name, csr in updates or []:
-            self._push(at_ms, _EV_UPDATE, (name, csr))
+        for at_ms, name, payload in updates or []:
+            self._push(at_ms, _EV_UPDATE, (name, payload))
 
         while self._heap:
             now = self._heap[0][0]
@@ -176,8 +218,8 @@ class DeadlineScheduler:
             while self._heap and self._heap[0][0] == now:
                 _, kind, _, payload = heapq.heappop(self._heap)
                 if kind == _EV_UPDATE:
-                    name, csr = payload
-                    self.service.update_graph(csr, name)
+                    name, update = payload
+                    self._handle_update(name, update, now)
                 elif kind == _EV_ARRIVAL:
                     req = payload
                     by_rid[req.rid] = req
@@ -199,6 +241,106 @@ class DeadlineScheduler:
                     if follow is not None:
                         self._push(follow.arrival_ms, _EV_ARRIVAL, follow)
         return self.completions
+
+    # -- streaming updates -------------------------------------------------
+
+    def _handle_update(self, name: str, payload, now: float) -> None:
+        """Apply one graph update; on the incremental path, charge the
+        delta apply + snapshot to a device and queue repair jobs for the
+        warm repairable cache entries the version bump will orphan."""
+        csr, batch = unwrap_update(payload)
+        self.graph_updates += 1
+        kind = "edges" if batch is not None and batch.structural \
+            else "weights"
+        self.metrics.counter("repro_graph_updates_total", kind=kind).inc()
+        if not (self.incremental and batch is not None):
+            self.service.update_graph(csr, name)
+            return
+        self.incremental_updates += 1
+        vg = self.service.graph_version(name)
+        old_csr, old_version = vg.csr, vg.version
+        # warm entries to repair, MRU first, capped per update
+        targets: List[Tuple[Tuple, object]] = []
+        keep = unaffected_primitives(batch)
+        for qkey, cached in reversed(
+                self.service.cache.entries_for(name, old_version)):
+            prim = key_primitive(qkey)
+            if prim in REPAIRABLE_PRIMITIVES and prim not in keep:
+                targets.append((qkey, cached))
+                if len(targets) >= self.max_repairs_per_update:
+                    break
+        # the delta apply/compaction is priced work: charge it to the
+        # least-loaded device and extend its busy horizon
+        dev = min(self.devices, key=lambda d: (d.busy_until_ms, d.index))
+        before = dev.machine.elapsed_ms()
+        with obs_span("dynamic.compaction", CAT_DYNAMIC, dev.machine,
+                      graph=name, mutations=batch.size,
+                      device=dev.index):
+            vg = self.service.update_graph(
+                name=name, batch=batch, machine=dev.machine,
+                incremental=True)
+        ms = dev.machine.elapsed_ms() - before
+        self.compaction_ms += ms
+        dev.busy_until_ms = max(dev.busy_until_ms, now) + ms
+        self._push(dev.busy_until_ms, _EV_FREE, dev.index)
+        for qkey, cached in targets:
+            self._repair_jobs.append(RepairJob(
+                name, vg.version, qkey, key_primitive(qkey),
+                dict(qkey[1:]), dict(cached.arrays), old_csr, batch))
+
+    def _run_repair(self, device: Device, job: RepairJob,
+                    now: float) -> None:
+        """Execute one background repair on an idle device and commit
+        the repaired payload under the job's target version."""
+        vg = self.service.graphs.get(job.graph)
+        if vg is None or vg.version != job.version:
+            self.stale_repairs += 1   # a later update superseded this job
+            return
+        before_ms = device.machine.elapsed_ms()
+        before_cy = device.machine.counters.cycles
+        view = vg.delta if vg.delta is not None and vg.delta.pending \
+            else vg.csr
+        with obs_span("dynamic.repair", CAT_DYNAMIC, device.machine,
+                      primitive=job.primitive, graph=job.graph,
+                      device=device.index) as sp:
+            arrays, incremental = repair_payload(
+                job.primitive, job.params, job.old_arrays, job.old_csr,
+                view, job.batch, machine=device.machine)
+            sp.set(incremental=incremental)
+        ms = device.machine.elapsed_ms() - before_ms
+        payload = LaneResult(arrays)
+        self.service.cache.put(job.graph, job.version, job.key, payload,
+                               payload.nbytes)
+        if incremental:
+            self.repairs_incremental += 1
+        else:
+            self.repair_fallbacks += 1
+        self.repair_ms += ms
+        self.metrics.counter(
+            "repro_repair_cycles_total", primitive=job.primitive).inc(
+            float(device.machine.counters.cycles - before_cy))
+        device.busy_until_ms = max(device.busy_until_ms, now) + ms
+        self._push(device.busy_until_ms, _EV_FREE, device.index)
+
+    def dynamic_summary(self) -> Dict[str, object]:
+        """The ``dynamic`` section of :class:`ServeReport`."""
+        if not self.graph_updates:
+            return {}
+        compactions = sum(
+            vg.delta.compactions for vg in self.service.graphs.values()
+            if vg.delta is not None)
+        return {
+            "updates": self.graph_updates,
+            "updates_incremental": self.incremental_updates,
+            "repairs_incremental": self.repairs_incremental,
+            "repair_fallbacks": self.repair_fallbacks,
+            "stale_repairs": self.stale_repairs,
+            "pending_repairs": len(self._repair_jobs),
+            "repair_ms": self.repair_ms,
+            "compaction_ms": self.compaction_ms,
+            "compactions": compactions,
+            "cache_carried": self.service.cache.stats.carried,
+        }
 
     # -- dispatch ----------------------------------------------------------
 
@@ -258,6 +400,13 @@ class DeadlineScheduler:
             device = idle[0]
             finished.extend(
                 self._execute(device, graph_name, primitive, runnable, now))
+        # background repair: strictly after foreground work, on whatever
+        # devices the EDF pass left idle this tick
+        while self._repair_jobs:
+            idle = [d for d in self.devices if d.idle(now)]
+            if not idle:
+                break
+            self._run_repair(idle[0], self._repair_jobs.popleft(), now)
         return finished
 
     def _execute(self, device: Device, graph_name: str, primitive: str,

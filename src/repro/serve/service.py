@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..dynamic.delta import DeltaCsr, MutationBatch, unaffected_primitives
 from ..graph.csr import Csr
 from .batcher import (Batch, LaneResult, SERVED_PRIMITIVES, execute_batch,
                       query_key)
@@ -87,11 +88,24 @@ class Completion:
 
 @dataclass
 class VersionedGraph:
-    """A loaded graph plus its monotonically increasing version."""
+    """A loaded graph plus its monotonically increasing version.
+
+    Under incremental updates the service additionally keeps a
+    :class:`~repro.dynamic.delta.DeltaCsr` chained off the last
+    compacted base; queries always run against ``csr`` (the latest
+    snapshot), while repair jobs read merged rows from ``delta``.
+    """
 
     name: str
     csr: Csr
     version: int = 0
+    delta: Optional[DeltaCsr] = None
+
+
+def key_primitive(query_key: Tuple) -> str:
+    """The primitive name inside a cache query key, shard-prefixed or not
+    (shard keys are ``(("shard", sid), primitive, *params)``)."""
+    return query_key[1] if isinstance(query_key[0], tuple) else query_key[0]
 
 
 class GraphService:
@@ -112,12 +126,44 @@ class GraphService:
             return vg
         return self.update_graph(csr, name)
 
-    def update_graph(self, csr: Csr, name: str = DEFAULT_GRAPH) -> VersionedGraph:
-        """Swap in a new graph snapshot; bumps the version and sweeps the
-        dead version's cache entries (old results become unreachable)."""
+    def update_graph(self, csr: Optional[Csr] = None,
+                     name: str = DEFAULT_GRAPH, *,
+                     batch: Optional[MutationBatch] = None,
+                     machine=None, incremental: bool = False
+                     ) -> VersionedGraph:
+        """Swap in a new graph version; bumps the version and sweeps the
+        dead version's cache entries (old results become unreachable).
+
+        The classic path takes a full replacement ``csr``.  With
+        ``incremental=True`` and a :class:`MutationBatch`, the update is
+        instead applied through the graph's :class:`DeltaCsr` chain: the
+        new snapshot is materialised from the delta (cost charged to
+        ``machine``), compaction runs on the delta's own policy, and
+        cache entries whose results provably cannot change (the
+        cache-retention rule of :func:`unaffected_primitives`) are
+        carried across the version bump instead of swept.
+        """
         vg = self.graphs[name]
-        vg.csr = csr
+        old_version = vg.version
+        if incremental and batch is not None:
+            if vg.delta is None or vg.delta.snapshot() is not vg.csr:
+                vg.delta = DeltaCsr(vg.csr)
+            vg.delta.apply(batch, machine=machine)
+            vg.csr = vg.delta.snapshot(machine=machine)
+            vg.delta.maybe_compact(machine=machine)
+        else:
+            if csr is None:
+                raise ValueError("update_graph needs a csr or an "
+                                 "incremental mutation batch")
+            vg.csr = csr
+            vg.delta = None
         vg.version += 1
+        if batch is not None:
+            keep = unaffected_primitives(batch)
+            if keep:
+                self.cache.carry_version(
+                    name, old_version, vg.version,
+                    lambda k: key_primitive(k) in keep)
         self.cache.invalidate_graph(name, keep_version=vg.version)
         return vg
 
@@ -162,6 +208,20 @@ class GraphService:
         return {p: dict(sorted(h.items())) for p, h in sorted(out.items())}
 
 
+def _same_topology(a: Csr, b: Csr) -> bool:
+    """True when two CSRs share structure (weights may differ).
+
+    ``with_edge_values`` and the reweight-only snapshot path share the
+    actual index arrays, so the identity fast path covers every
+    weight-only update without an O(m) compare.
+    """
+    if a.indptr is b.indptr and a.indices is b.indices:
+        return True
+    return (a.n == b.n and a.m == b.m
+            and np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices))
+
+
 class ShardedGraphService(GraphService):
     """A :class:`GraphService` whose graphs are partitioned over a
     :class:`~repro.serve.shard.ShardTier`.
@@ -196,11 +256,22 @@ class ShardedGraphService(GraphService):
             epoch=len(self.tier.dead_order))
         return vg
 
-    def update_graph(self, csr: Csr, name: str = DEFAULT_GRAPH) -> VersionedGraph:
-        vg = super().update_graph(csr, name)
-        self.maps[name] = build_shard_map(
-            csr, self.tier.shards, self.shard_method, self.tier.dead_order,
-            epoch=len(self.tier.dead_order))
+    def update_graph(self, csr: Optional[Csr] = None,
+                     name: str = DEFAULT_GRAPH, *,
+                     batch: Optional[MutationBatch] = None,
+                     machine=None, incremental: bool = False
+                     ) -> VersionedGraph:
+        """Update + shard-map maintenance.  A weight-only update leaves
+        vertex ownership untouched, so the existing map is kept instead
+        of replaying the ``build_shard_map`` partition cascade — the map
+        depends only on topology (degrees) and the dead order."""
+        prev = self.graphs[name].csr
+        vg = super().update_graph(csr, name, batch=batch, machine=machine,
+                                  incremental=incremental)
+        if not _same_topology(prev, vg.csr):
+            self.maps[name] = build_shard_map(
+                vg.csr, self.tier.shards, self.shard_method,
+                self.tier.dead_order, epoch=len(self.tier.dead_order))
         return vg
 
     def rebuild_maps(self) -> None:
@@ -303,6 +374,9 @@ class ServeReport:
     shed_reasons: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: sharded-tier section (empty for single-node serving)
     shard: Dict[str, object] = field(default_factory=dict)
+    #: streaming-update section: updates applied, incremental repairs
+    #: vs fallbacks, carried cache entries, compaction counts/cost
+    dynamic: Dict[str, object] = field(default_factory=dict)
 
     #: fallback reasons for completions recorded before reasons existed
     _LEGACY_REASONS = {"shed": "queue_full", "deadline_drop":
@@ -312,7 +386,8 @@ class ServeReport:
     def from_replay(cls, completions: List[Completion], service: GraphService,
                     recovered_faults: int = 0,
                     retry_backoff_ms: float = 0.0,
-                    metrics=None, shard: Optional[Dict] = None
+                    metrics=None, shard: Optional[Dict] = None,
+                    dynamic: Optional[Dict] = None
                     ) -> "ServeReport":
         served = [c for c in completions if c.served]
         latencies = np.array([c.latency_ms for c in served], dtype=np.float64)
@@ -371,6 +446,7 @@ class ServeReport:
             shed_reasons={p: dict(sorted(h.items()))
                           for p, h in sorted(shed_reasons.items())},
             shard=dict(shard) if shard else {},
+            dynamic=dict(dynamic) if dynamic else {},
         )
 
     def as_dict(self) -> Dict:
@@ -406,6 +482,8 @@ class ServeReport:
                              for p, h in sorted(self.shed_reasons.items())},
             "shard": {k: (round(v, 6) if isinstance(v, float) else v)
                       for k, v in sorted(self.shard.items())},
+            "dynamic": {k: (round(v, 6) if isinstance(v, float) else v)
+                        for k, v in sorted(self.dynamic.items())},
         }
 
     def format(self) -> str:
@@ -440,6 +518,11 @@ class ServeReport:
         if self.shard:
             lines.append("shard tier:")
             for k, v in sorted(self.shard.items()):
+                val = f"{v:.3f}" if isinstance(v, float) else v
+                lines.append(f"  {k:<20}{val}")
+        if self.dynamic:
+            lines.append("streaming updates:")
+            for k, v in sorted(self.dynamic.items()):
                 val = f"{v:.3f}" if isinstance(v, float) else v
                 lines.append(f"  {k:<20}{val}")
         lines.append("batch sizes per primitive:")

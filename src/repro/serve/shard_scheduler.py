@@ -45,23 +45,29 @@ from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..dynamic.delta import (REPAIRABLE_PRIMITIVES, unaffected_primitives,
+                             unwrap_update)
+from ..dynamic.incremental import repair_payload
 from ..graph.csr import Csr
 from ..obs.metrics import MetricsRegistry
-from ..obs.spans import (CAT_SERVE, CAT_SHARD, current_observer,
-                         instant as obs_instant, span as obs_span)
+from ..obs.spans import (CAT_DYNAMIC, CAT_SERVE, CAT_SHARD,
+                         current_observer, instant as obs_instant,
+                         span as obs_span)
 from ..resilience.recovery import RetryPolicy
 from .batcher import Batch, DEFAULT_MAX_LANES, LaneResult, plan_batches
-from .scheduler import Overloaded
-from .service import Completion, Request, ShardedGraphService
+from .scheduler import Overloaded, RepairJob
+from .service import (Completion, Request, ShardedGraphService,
+                      key_primitive)
 from .shard import (FANOUT, KillEvent, Replica, fanout_pagerank,
                     repair_bytes)
 
 #: event kinds, in processing order at equal timestamps: graph updates
 #: and topology changes land before request arrivals (a coinciding
 #: arrival sees the new version / the repaired map), and completions
-#: land before arrivals (a coinciding duplicate hits the fresh cache)
+#: land before arrivals (a coinciding duplicate hits the fresh cache);
+#: cache repairs land last so foreground work at the same tick wins
 (_EV_UPDATE, _EV_KILL, _EV_REPAIR, _EV_DONE, _EV_ARRIVAL, _EV_HEDGE,
- _EV_WAKE) = range(7)
+ _EV_WAKE, _EV_CACHE_REPAIR) = range(8)
 
 #: minimum recorded durations before hedge delays are trusted
 DEFAULT_HEDGE_MIN_SAMPLES = 8
@@ -107,7 +113,9 @@ class ShardScheduler:
                  retry: Optional[RetryPolicy] = None,
                  fault_rate: float = 0.0, seed: int = 0,
                  hedging: bool = True,
-                 hedge_min_samples: int = DEFAULT_HEDGE_MIN_SAMPLES):
+                 hedge_min_samples: int = DEFAULT_HEDGE_MIN_SAMPLES,
+                 incremental: bool = False,
+                 max_repairs_per_update: int = 32):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if not 0.0 <= fault_rate < 1.0:
@@ -141,6 +149,18 @@ class ShardScheduler:
         self._heap: List[Tuple[float, int, int, object]] = []
         self._seq = 0
         self._wakes: Set[float] = set()
+        # streaming-update state: cache repairs run shard-local, priced
+        # behind the delta-broadcast interconnect transfer ("repairs"
+        # above are shard-map repairs; these repair cache *entries*)
+        self.incremental = incremental
+        self.max_repairs_per_update = max_repairs_per_update
+        self.graph_updates = 0
+        self.incremental_updates = 0
+        self.cache_repairs_incremental = 0
+        self.cache_repair_fallbacks = 0
+        self.stale_cache_repairs = 0
+        self.cache_repair_ms = 0.0
+        self.update_broadcast_ms = 0.0
         observer = current_observer()
         self.metrics: MetricsRegistry = observer.metrics \
             if observer is not None else MetricsRegistry()
@@ -244,8 +264,8 @@ class ShardScheduler:
         for req in requests:
             by_rid[req.rid] = req
             self._push(req.arrival_ms, _EV_ARRIVAL, req)
-        for at_ms, name, csr in updates or []:
-            self._push(at_ms, _EV_UPDATE, (name, csr))
+        for at_ms, name, payload in updates or []:
+            self._push(at_ms, _EV_UPDATE, (name, payload))
         for kill in kills or []:
             self._push(kill.at_ms, _EV_KILL, kill)
 
@@ -255,8 +275,10 @@ class ShardScheduler:
             while self._heap and self._heap[0][0] == now:
                 _, kind, _, payload = heapq.heappop(self._heap)
                 if kind == _EV_UPDATE:
-                    name, csr = payload
-                    self.service.update_graph(csr, name)
+                    name, update = payload
+                    self._handle_update(name, update, now)
+                elif kind == _EV_CACHE_REPAIR:
+                    self._handle_cache_repair(payload, now)
                 elif kind == _EV_KILL:
                     finished.extend(self._handle_kill(payload, now))
                 elif kind == _EV_REPAIR:
@@ -283,6 +305,127 @@ class ShardScheduler:
                     if follow is not None:
                         self._push(follow.arrival_ms, _EV_ARRIVAL, follow)
         return self.completions
+
+    # -- streaming updates -------------------------------------------------
+
+    def _handle_update(self, name: str, payload, now: float) -> None:
+        """Apply one graph update.  On the incremental path the mutation
+        delta is broadcast to every live shard group over the
+        interconnect (same pricing as a shard-map repair transfer), and
+        shard-local cache repairs are scheduled once the broadcast
+        lands."""
+        csr, batch = unwrap_update(payload)
+        self.graph_updates += 1
+        kind = "edges" if batch is not None and batch.structural \
+            else "weights"
+        self.metrics.counter("repro_graph_updates_total", kind=kind).inc()
+        if not (self.incremental and batch is not None):
+            self.service.update_graph(csr, name)
+            return
+        self.incremental_updates += 1
+        vg = self.service.graph_version(name)
+        old_csr, old_version = vg.csr, vg.version
+        # shard-keyed warm entries to repair, MRU first, capped
+        targets: List[Tuple[Tuple, LaneResult]] = []
+        keep = unaffected_primitives(batch)
+        for qkey, cached in reversed(
+                self.service.cache.entries_for(name, old_version)):
+            prim = key_primitive(qkey)
+            if prim in REPAIRABLE_PRIMITIVES and prim not in keep:
+                targets.append((qkey, cached))
+                if len(targets) >= self.max_repairs_per_update:
+                    break
+        with obs_span("dynamic.compaction", CAT_DYNAMIC, graph=name,
+                      mutations=batch.size):
+            vg = self.service.update_graph(name=name, batch=batch,
+                                           incremental=True)
+        # one (u, v, w) record per mutation, fanned to every live group
+        volume = max(1, batch.size) * 3 * 8
+        msgs = max(1, len(self.tier.live_sids()))
+        bcast_ms = self.tier.interconnect.transfer_ms(volume, msgs)
+        self.update_broadcast_ms += bcast_ms
+        for qkey, cached in targets:
+            sid = qkey[0][1] if isinstance(qkey[0], tuple) else -1
+            params = dict(qkey[2:]) if isinstance(qkey[0], tuple) \
+                else dict(qkey[1:])
+            self._push(now + bcast_ms, _EV_CACHE_REPAIR, RepairJob(
+                name, vg.version, qkey, key_primitive(qkey), params,
+                dict(cached.arrays), old_csr, batch, sid=sid))
+
+    def _handle_cache_repair(self, job: RepairJob, now: float) -> None:
+        """Run one cache repair on a replica of the owning shard group
+        (any live group for fan-out entries); a busy replica defers the
+        job to its free time rather than preempting foreground work."""
+        vg = self.service.graphs.get(job.graph)
+        if vg is None or vg.version != job.version:
+            self.stale_cache_repairs += 1
+            return
+        if job.sid == FANOUT or job.sid < 0:
+            live = self.tier.live_sids()
+            if not live:
+                self.stale_cache_repairs += 1
+                return
+            group = self.tier.groups[min(live)]
+        else:
+            group = self.tier.groups[job.sid]
+            if group.down:
+                self.stale_cache_repairs += 1
+                return
+        got = group.pick(now)
+        if got is None:
+            self.stale_cache_repairs += 1
+            return
+        replica, at = got
+        if at > now:
+            self._push(at, _EV_CACHE_REPAIR, job)
+            return
+        replica.begin_dispatch(now)
+        before_ms = replica.machine.elapsed_ms()
+        before_cy = replica.machine.counters.cycles
+        view = vg.delta if vg.delta is not None and vg.delta.pending \
+            else vg.csr
+        with obs_span("dynamic.repair", CAT_DYNAMIC, replica.machine,
+                      primitive=job.primitive, graph=job.graph,
+                      shard=job.sid, replica=replica.name) as sp:
+            arrays, incremental = repair_payload(
+                job.primitive, job.params, job.old_arrays, job.old_csr,
+                view, job.batch, machine=replica.machine)
+            sp.set(incremental=incremental)
+        ms = replica.machine.elapsed_ms() - before_ms
+        payload = LaneResult(arrays)
+        self.service.cache.put(job.graph, job.version, job.key, payload,
+                               payload.nbytes)
+        if incremental:
+            self.cache_repairs_incremental += 1
+        else:
+            self.cache_repair_fallbacks += 1
+        self.cache_repair_ms += ms
+        self.metrics.counter(
+            "repro_repair_cycles_total", primitive=job.primitive).inc(
+            float(replica.machine.counters.cycles - before_cy))
+        replica.busy_until_ms = max(replica.busy_until_ms, now) + ms
+        self._wake(replica.busy_until_ms)
+
+    def dynamic_summary(self) -> Dict[str, object]:
+        """The report's ``dynamic`` section (same keys as the
+        single-pool scheduler's, so tooling reads either)."""
+        if not self.graph_updates:
+            return {}
+        compactions = sum(
+            vg.delta.compactions for vg in self.service.graphs.values()
+            if vg.delta is not None)
+        return {
+            "updates": self.graph_updates,
+            "updates_incremental": self.incremental_updates,
+            "repairs_incremental": self.cache_repairs_incremental,
+            "repair_fallbacks": self.cache_repair_fallbacks,
+            "stale_repairs": self.stale_cache_repairs,
+            "pending_repairs": 0,
+            "repair_ms": self.cache_repair_ms,
+            "compaction_ms": self.update_broadcast_ms,
+            "compactions": compactions,
+            "cache_carried": self.service.cache.stats.carried,
+        }
 
     # -- dispatch ----------------------------------------------------------
 

@@ -15,9 +15,15 @@ Two arrival disciplines:
   request a fixed think time after its previous one completes.
 
 Optionally the workload interleaves *graph updates*: every
-``update_interval_ms`` the graph's edge weights are re-randomized and the
-service's graph version bumps, invalidating the cache — the "freshness
-over reuse" tension an online graph service lives with.
+``update_interval_ms`` the graph mutates and the service's graph version
+bumps — the "freshness over reuse" tension an online graph service lives
+with.  ``update_kind`` picks the mutation: ``"weights"`` re-randomizes
+every edge weight (the legacy PR 5 semantics), ``"edges"`` applies a
+seed-deterministic structural delta (``delta_frac`` of the edges deleted
+and as many inserted) built through the same
+:class:`~repro.dynamic.delta.DeltaCsr` machinery the serving tier uses,
+so each update carries both the post-mutation snapshot *and* the
+:class:`~repro.dynamic.delta.MutationBatch` that produced it.
 
 Everything derives from ``seed``; two generations with the same spec are
 identical, which is what pins the CI determinism check.
@@ -31,6 +37,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..dynamic.delta import (DeltaCsr, GraphUpdate, MutationBatch,
+                             random_mutation_batch)
 from ..graph.build import with_random_weights
 from ..graph.csr import Csr
 from .batcher import SERVED_PRIMITIVES
@@ -73,8 +81,14 @@ class WorkloadSpec:
     deadline_scale: float = 1.0
     updates: int = 0
     update_interval_ms: float = 50.0
+    update_kind: str = "weights"     # "weights" | "edges"
+    delta_frac: float = 0.005        # edge fraction per structural delta
 
     def __post_init__(self) -> None:
+        if self.update_kind not in ("weights", "edges"):
+            raise ValueError("update_kind must be 'weights' or 'edges'")
+        if not 0.0 < self.delta_frac <= 1.0:
+            raise ValueError("delta_frac must be in (0, 1]")
         if self.requests < 1:
             raise ValueError("workload needs at least one request")
         if self.mode not in ("open", "closed"):
@@ -118,7 +132,7 @@ class Workload:
 
     spec: WorkloadSpec
     requests: List[Request]
-    updates: List[Tuple[float, str, Csr]]
+    updates: List[Tuple[float, str, GraphUpdate]]
     #: closed-loop continuation (None in open-loop mode): maps a finished
     #: request to its client's next one
     driver: Optional["ClosedLoopDriver"] = None
@@ -215,10 +229,28 @@ def build_workload(graph: Csr, spec: WorkloadSpec,
                 streams[c][0].arrival_ms = 0.01 * c
         driver = ClosedLoopDriver(streams, spec.think_ms)
 
-    updates: List[Tuple[float, str, Csr]] = []
-    for i in range(spec.updates):
-        at_ms = (i + 1) * spec.update_interval_ms
-        fresh = with_random_weights(graph, seed=spec.seed + 7919 * (i + 1))
-        updates.append((at_ms, graph_name, fresh))
+    updates: List[Tuple[float, str, GraphUpdate]] = []
+    if spec.update_kind == "weights":
+        for i in range(spec.updates):
+            at_ms = (i + 1) * spec.update_interval_ms
+            fresh = with_random_weights(graph,
+                                        seed=spec.seed + 7919 * (i + 1))
+            batch = MutationBatch(all_weights=np.asarray(
+                fresh.edge_values, dtype=np.float64))
+            updates.append((at_ms, graph_name, GraphUpdate(fresh, batch)))
+    elif spec.updates:
+        # structural deltas, built through the same delta-CSR machinery
+        # the service uses, so each update ships the post-mutation
+        # snapshot and the batch that produced it
+        chain = DeltaCsr(graph)
+        for i in range(spec.updates):
+            at_ms = (i + 1) * spec.update_interval_ms
+            batch = random_mutation_batch(
+                chain.snapshot(), spec.seed + 7919 * (i + 1),
+                frac=spec.delta_frac)
+            chain.apply(batch)
+            updates.append((at_ms, graph_name,
+                            GraphUpdate(chain.snapshot(), batch)))
+            chain.maybe_compact()
 
     return Workload(spec, requests, updates, driver)

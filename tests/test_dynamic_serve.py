@@ -1,0 +1,195 @@
+"""Serving-tier integration tests for streaming graph mutations.
+
+What the delta path must preserve end to end:
+
+* every cache entry alive after an incremental replay is **bitwise
+  correct** against a from-scratch run on the final compacted graph
+  (repairs commit real answers, never stale approximations);
+* the whole replay is seed-deterministic — same spec, byte-identical
+  report — with structural updates and background repair in the mix;
+* weight-only updates carry weight-insensitive entries across the
+  version bump and never rebuild the sharded tier's vertex ownership.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DeltaCsr, GraphUpdate
+from repro.dynamic.incremental import pagerank_defect
+from repro.primitives import bfs, sssp
+from repro.serve import (BreakerPolicy, DeadlineScheduler, GraphService,
+                         ShardTier, ShardedGraphService, WorkloadSpec,
+                         build_workload, run_serving, run_sharded_serving)
+from repro.serve.service import key_primitive
+
+
+def _spec(**kw) -> WorkloadSpec:
+    base = dict(requests=150, seed=11, updates=3, update_interval_ms=8.0,
+                update_kind="edges", delta_frac=0.01)
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+# -- repair-commit correctness --------------------------------------------
+
+def _check_entry(csr, qkey, payload) -> None:
+    prim = key_primitive(qkey)
+    params = dict(qkey[1:]) if isinstance(qkey[0], str) else dict(qkey[2:])
+    if prim == "bfs":
+        ref = bfs(csr, params["src"], idempotent=False, direction="push")
+        assert np.array_equal(payload.arrays["labels"], ref.arrays["labels"])
+        _check_preds(csr, payload.arrays["labels"],
+                     payload.arrays["preds"], params["src"], unit=True)
+    elif prim == "sssp":
+        ref = sssp(csr, params["src"], use_priority_queue=False)
+        assert np.array_equal(payload.arrays["labels"], ref.arrays["labels"])
+        _check_preds(csr, payload.arrays["labels"],
+                     payload.arrays["preds"], params["src"], unit=False)
+    elif prim == "pagerank":
+        tol = 0.01 / csr.n
+        defect = float(np.abs(pagerank_defect(csr, payload.arrays["rank"])).sum())
+        assert defect <= 3.0 * csr.n * tol
+    # ppr/wtf are never repaired; they are invalidated on structural
+    # updates, so any surviving entry was computed on the final graph
+
+
+def _check_preds(csr, labels, preds, src, *, unit: bool) -> None:
+    """Support oracle: every reached non-source vertex's pred is an
+    in-neighbour that exactly supports its label (preds are lane-order
+    dependent, so bitwise comparison against a solo run is not the
+    contract)."""
+    csc = csr.csc
+    for v in range(csr.n):
+        reach = labels[v] >= 0 if unit else np.isfinite(labels[v])
+        if not reach or v == src:
+            continue
+        p = int(preds[v])
+        lo, hi = int(csc.indptr[v]), int(csc.indptr[v + 1])
+        hit = csc.indices[lo:hi] == p
+        assert hit.any(), f"pred {p} of {v} is not an in-neighbor"
+        if unit:
+            assert labels[p] == labels[v] - 1
+        else:
+            w = csc.artifacts.weights64[lo:hi][hit]
+            assert (labels[p] + w == labels[v]).any()
+
+
+def test_repaired_cache_entries_match_from_scratch(kron_weighted):
+    service = GraphService()
+    service.load_graph(kron_weighted)
+    scheduler = DeadlineScheduler(service, devices=2, seed=11,
+                                  incremental=True)
+    workload = build_workload(kron_weighted, _spec())
+    scheduler.replay(workload.initial_requests, updates=workload.updates,
+                     on_complete=workload.driver)
+
+    summary = scheduler.dynamic_summary()
+    assert summary["updates"] == 3
+    assert summary["updates_incremental"] == 3
+    assert summary["pending_repairs"] == 0
+    assert summary["repairs_incremental"] > 0
+
+    vg = service.graph_version("default")
+    assert vg.delta is not None and vg.delta.snapshot() is vg.csr
+    entries = service.cache.entries_for("default", vg.version)
+    assert entries, "expected warm entries at the final version"
+    checked = 0
+    for qkey, payload in entries:
+        _check_entry(vg.csr, qkey, payload)
+        checked += 1
+    assert checked == len(entries)
+
+
+def test_sharded_repairs_commit_correct_entries(kron_weighted):
+    report = run_sharded_serving(kron_weighted, _spec(requests=120),
+                                 shards=4, replicas=2, incremental=True)
+    dyn = report.dynamic
+    assert dyn["updates"] == 3
+    assert dyn["updates_incremental"] == 3
+    assert dyn["repairs_incremental"] + dyn["repair_fallbacks"] > 0
+    assert report.stale_hits == 0
+
+
+# -- determinism ----------------------------------------------------------
+
+def test_incremental_serving_is_deterministic(kron_weighted):
+    spec = _spec()
+    r1 = run_serving(kron_weighted, spec, devices=2, incremental=True)
+    r2 = run_serving(kron_weighted, spec, devices=2, incremental=True)
+    assert r1.as_dict() == r2.as_dict()
+    assert r1.dynamic["updates"] == 3
+    assert r1.stale_hits == 0
+
+
+def test_sharded_incremental_is_deterministic(kron_weighted):
+    spec = _spec(requests=120)
+    r1 = run_sharded_serving(kron_weighted, spec, shards=4, replicas=2,
+                             incremental=True)
+    r2 = run_sharded_serving(kron_weighted, spec, shards=4, replicas=2,
+                             incremental=True)
+    assert r1.as_dict() == r2.as_dict()
+
+
+# -- workload structural deltas -------------------------------------------
+
+def test_workload_edge_updates_deterministic_and_chained(kron_weighted):
+    spec = _spec(requests=20)
+    w1 = build_workload(kron_weighted, spec)
+    w2 = build_workload(kron_weighted, spec)
+    assert len(w1.updates) == 3
+    chain = DeltaCsr(kron_weighted)
+    for (at1, name1, u1), (at2, name2, u2) in zip(w1.updates, w2.updates):
+        assert at1 == at2 and name1 == name2
+        assert isinstance(u1, GraphUpdate) and u1.batch is not None
+        assert u1.batch.structural
+        assert u1.batch.size == u2.batch.size
+        assert np.array_equal(u1.csr.indptr, u2.csr.indptr)
+        assert np.array_equal(u1.csr.indices, u2.csr.indices)
+        # each shipped snapshot is exactly the chained application of
+        # its batch on top of the previous snapshot
+        chain.apply(u1.batch)
+        snap = chain.snapshot()
+        assert np.array_equal(snap.indptr, u1.csr.indptr)
+        assert np.array_equal(snap.indices, u1.csr.indices)
+        assert np.allclose(snap.weight_or_ones(), u1.csr.weight_or_ones())
+        chain.maybe_compact()
+
+
+def test_workload_spec_rejects_bad_update_kind(kron_weighted):
+    with pytest.raises(ValueError):
+        WorkloadSpec(update_kind="vertices")
+    with pytest.raises(ValueError):
+        WorkloadSpec(delta_frac=0.0)
+
+
+# -- weight-only updates: carry + shard-map retention ---------------------
+
+def test_weight_updates_carry_insensitive_entries(kron_weighted):
+    spec = _spec(update_kind="weights", requests=200)
+    report = run_serving(kron_weighted, spec, devices=2, incremental=True)
+    assert report.dynamic["updates"] == 3
+    assert report.dynamic["cache_carried"] > 0
+    assert report.stale_hits == 0
+
+
+def test_sharded_weight_only_update_keeps_shard_map(kron_weighted):
+    from repro.dynamic.delta import MutationBatch, random_mutation_batch
+    from repro.graph import with_random_weights
+
+    tier = ShardTier(4, 2, breaker=BreakerPolicy())
+    svc = ShardedGraphService(tier)
+    svc.load_graph(kron_weighted)
+    m0 = svc.maps["default"]
+
+    fresh = with_random_weights(kron_weighted, seed=99)
+    wbatch = MutationBatch(all_weights=np.asarray(fresh.edge_values,
+                                                  dtype=np.float64))
+    svc.update_graph(fresh, batch=wbatch)
+    assert svc.maps["default"] is m0, "weight-only update rebuilt the map"
+
+    sbatch = random_mutation_batch(svc.graphs["default"].csr, seed=5,
+                                   frac=0.01)
+    svc.update_graph(batch=sbatch, incremental=True)
+    assert svc.maps["default"] is not m0, "structural update kept stale map"
