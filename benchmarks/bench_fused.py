@@ -1,0 +1,237 @@
+"""Wall-clock benchmark: fused specializer vs the pooled library loop.
+
+Measures real elapsed time (``machine=None`` — no simulated-cost
+accounting) for BFS / SSSP / PageRank on an RMAT graph and a road grid,
+with the fused engine vs pooled operator execution, and writes
+``benchmarks/BENCH_fused.json``.
+
+The measurement protocol is the one ``bench_wallclock.py`` established:
+every cell × engine measurement runs in its own fresh subprocess (modes
+never share a heap), subprocess rounds are interleaved ABBA so
+machine-level drift cancels, and each engine takes the minimum across
+rounds of each subprocess's own min — the least-noise estimator of a
+deterministic workload's true cost.
+
+Identity is verified once per cell in the driver *with a machine
+attached*: fused output arrays must be bitwise-equal to pooled and the
+kernel-counter signatures (name, cycles, items, iteration per launch,
+plus total cycles) must match exactly.  A fused run that fell back to
+the library loop would produce identical counters trivially, so the
+driver also asserts the fused dispatch actually happened (no fallback
+recorded).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fused.py           # full
+    PYTHONPATH=src python benchmarks/bench_fused.py --quick   # CI
+    ... --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SRC = HERE.parent / "src"
+OUT_PATH = HERE / "BENCH_fused.json"
+
+WEIGHT_SEED = 7
+PR_ITERATIONS = 50
+
+GRAPHS = {
+    False: {  # full
+        "rmat14": {"kind": "rmat", "scale": 14, "edge_factor": 16, "seed": 1},
+        "road300": {"kind": "road", "width": 300, "height": 300, "seed": 1},
+    },
+    True: {  # --quick
+        "rmat11": {"kind": "rmat", "scale": 11, "edge_factor": 16, "seed": 1},
+        "road80": {"kind": "road", "width": 80, "height": 80, "seed": 1},
+    },
+}
+PRIMITIVES = ("bfs", "sssp", "pagerank")
+
+
+def build_graph(spec: dict):
+    from repro.graph import generators
+
+    if spec["kind"] == "rmat":
+        return generators.rmat(spec["scale"], edge_factor=spec["edge_factor"],
+                               seed=spec["seed"])
+    return generators.road_grid(spec["width"], spec["height"],
+                                seed=spec["seed"])
+
+
+def make_runner(primitive: str, graph, machine_factory=lambda: None):
+    """A zero-arg callable running one full primitive invocation."""
+    from repro.graph.build import with_random_weights
+    from repro.primitives import bfs, pagerank, sssp
+
+    if primitive == "bfs":
+        return lambda: bfs(graph, 0, machine=machine_factory(),
+                           direction="auto")
+    if primitive == "sssp":
+        gw = with_random_weights(graph, seed=WEIGHT_SEED)
+        return lambda: sssp(gw, 0, machine=machine_factory())
+    if primitive == "pagerank":
+        return lambda: pagerank(graph, machine=machine_factory(),
+                                max_iterations=PR_ITERATIONS)
+    raise ValueError(f"unknown primitive {primitive!r}")
+
+
+# --------------------------------------------------------------------------
+# child mode: one (graph, primitive, engine) measurement per process
+# --------------------------------------------------------------------------
+
+def run_cell_child(spec: dict) -> None:
+    from repro.core.engine import fallback_log, set_engine
+
+    set_engine(spec["engine"])
+    graph = build_graph(spec["graph"])
+    run = make_runner(spec["primitive"], graph)
+    run()  # warmup: plan compilation, artifact caches, allocator state
+    if spec["engine"] == "fused" and fallback_log():
+        raise SystemExit(f"fused run fell back: {fallback_log()}")
+    times = []
+    for _ in range(spec["reps"]):
+        t0 = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - t0)
+    json.dump({"min_ms": min(times) * 1e3,
+               "all_ms": [t * 1e3 for t in times]}, sys.stdout)
+
+
+def spawn_cell(spec: dict) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--cell",
+         json.dumps(spec)],
+        env=env, capture_output=True, text=True, check=True)
+    return json.loads(out.stdout)
+
+
+# --------------------------------------------------------------------------
+# driver
+# --------------------------------------------------------------------------
+
+def verify_identity(primitive: str, graph_spec: dict) -> dict:
+    """Bitwise output + kernel-counter-signature identity, fused vs
+    pooled, with a simulated machine attached; also asserts the fused
+    dispatch happened (a silent fallback would be a vacuous pass)."""
+    import numpy as np
+
+    from repro.core.engine import clear_fallbacks, engine, last_fallback
+
+    from repro.simt.machine import Machine
+
+    graph = build_graph(graph_spec)
+    results = {}
+    for mode in ("pooled", "fused"):
+        clear_fallbacks()
+        with engine(mode):
+            machine = Machine()
+            res = make_runner(primitive, graph,
+                              machine_factory=lambda: machine)()
+            results[mode] = (res, machine)
+        if mode == "fused" and last_fallback() is not None:
+            raise SystemExit(
+                f"{primitive}: fused fell back: {last_fallback()}")
+    (rp, mp), (rf, mf) = results["pooled"], results["fused"]
+    arrays_ok = all(
+        rp.arrays[k].dtype == rf.arrays[k].dtype
+        and np.array_equal(rp.arrays[k], rf.arrays[k])
+        for k in rp.arrays)
+    sig = lambda m: [(k.name, k.cycles, k.items, k.iteration)
+                     for k in m.counters.kernels]
+    counters_ok = (sig(mp) == sig(mf)
+                   and mp.counters.cycles == mf.counters.cycles)
+    return {"identical_outputs": bool(arrays_ok),
+            "identical_counters": bool(counters_ok)}
+
+
+def run_benchmark(quick: bool, out_path: Path, pairs: int, reps: int) -> dict:
+    graphs = GRAPHS[quick]
+    cells = []
+    for gname, gspec in graphs.items():
+        graph = build_graph(gspec)
+        n, m = int(graph.n), int(graph.m)
+        for primitive in PRIMITIVES:
+            print(f"[cell] {primitive}/{gname} ...", flush=True)
+            identity = verify_identity(primitive, gspec)
+            mins = {"fused": [], "pooled": []}
+            for rnd in range(pairs):
+                # alternate which engine goes first so slow drift cancels
+                order = ("fused", "pooled") if rnd % 2 == 0 \
+                    else ("pooled", "fused")
+                for eng in order:
+                    child = spawn_cell({"primitive": primitive,
+                                        "graph": gspec, "engine": eng,
+                                        "reps": reps})
+                    mins[eng].append(child["min_ms"])
+            fused_ms = min(mins["fused"])
+            pooled_ms = min(mins["pooled"])
+            cell = {
+                "primitive": primitive, "graph": gname, "n": n, "m": m,
+                "fused_ms": round(fused_ms, 3),
+                "pooled_ms": round(pooled_ms, 3),
+                "speedup": round(pooled_ms / fused_ms, 4),
+                **identity,
+            }
+            print(f"       fused {fused_ms:8.1f} ms   "
+                  f"pooled {pooled_ms:8.1f} ms   "
+                  f"speedup {cell['speedup']:.2f}x   "
+                  f"outputs={identity['identical_outputs']} "
+                  f"counters={identity['identical_counters']}", flush=True)
+            cells.append(cell)
+    geomean = math.exp(sum(math.log(c["speedup"]) for c in cells) / len(cells))
+    report = {
+        "schema_version": 1,
+        "config": {
+            "quick": quick, "pairs": pairs, "reps": reps,
+            "pr_iterations": PR_ITERATIONS, "weight_seed": WEIGHT_SEED,
+            "python": platform.python_version(),
+            "protocol": "fresh subprocess per cell*engine, interleaved "
+                        "rounds, min across rounds of per-process min",
+        },
+        "cells": cells,
+        "geomean_speedup": round(geomean, 4),
+    }
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"\ngeomean speedup (fused vs pooled): {geomean:.3f}x")
+    print(f"wrote {out_path}")
+    return report
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--quick", action="store_true",
+                    help="small graphs / fewer rounds (CI perf-smoke)")
+    ap.add_argument("--out", type=Path, default=OUT_PATH)
+    ap.add_argument("--pairs", type=int, default=None,
+                    help="interleaved subprocess rounds per cell")
+    ap.add_argument("--reps", type=int, default=None,
+                    help="timed runs inside each subprocess")
+    ap.add_argument("--cell", help="(internal) run one measurement cell")
+    args = ap.parse_args()
+    if args.cell:
+        run_cell_child(json.loads(args.cell))
+        return 0
+    pairs = args.pairs if args.pairs is not None else (2 if args.quick else 4)
+    reps = args.reps if args.reps is not None else (3 if args.quick else 5)
+    run_benchmark(args.quick, args.out, pairs, reps)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(SRC))
+    raise SystemExit(main())

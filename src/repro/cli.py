@@ -174,6 +174,8 @@ def cmd_analyze(args) -> int:
         report = analyze_paths(paths)
     except FileNotFoundError as err:
         raise SystemExit(str(err))
+    if getattr(args, "plan", None):
+        return _print_plan(report, args.plan, as_json=args.json)
     if args.dot:
         print(render_dot(report), end="")
         return 0
@@ -189,6 +191,34 @@ def cmd_analyze(args) -> int:
         print(f"{len(report.stale)} stale suppression(s)", file=sys.stderr)
         status = 1
     return status
+
+
+def _print_plan(report, primitive: str, *, as_json: bool) -> int:
+    """Render the fused execution plan of one analyzed primitive."""
+    import json
+
+    from .analysis.plan import compile_plan
+
+    prim = next((p for p in report.primitives if p.name == primitive), None)
+    plan = compile_plan(prim, primitive)
+    if as_json:
+        print(json.dumps(plan.static_dict(), indent=2, sort_keys=True))
+        return 0 if plan.fusable else 1
+    verdict = "fusable" if plan.fusable else "blocked"
+    print(f"fused plan: {primitive} [{verdict}]")
+    for reason in plan.blocked:
+        print(f"  blocked: {reason}")
+    for stage in plan.stages:
+        ats = f" atomics={','.join(stage.atomics)}" if stage.atomics else ""
+        print(f"  stage {stage.name:<28} cond={stage.cond_mask:<11} "
+              f"apply={stage.apply_mask:<11}{ats}")
+        for fn in stage.functors:
+            print(f"    functor {fn}")
+    if plan.atomic_lowerings:
+        print("  lowerings:")
+        for op, how in sorted(plan.atomic_lowerings.items()):
+            print(f"    atomic_{op} -> {how}")
+    return 0 if plan.fusable else 1
 
 
 def cmd_chaos(args) -> int:
@@ -321,17 +351,24 @@ def cmd_run(args) -> int:
     from .analysis import RaceError, sanitize
     from contextlib import nullcontext
 
+    from .core.engine import clear_fallbacks, engine, fallback_log
+
     g = load_graph(args)
     src = args.src if args.src is not None else int(g.out_degrees.argmax())
     machine = Machine()
     ctx = sanitize(strict=True) if args.sanitize else nullcontext()
+    # --engine overrides REPRO_ENGINE / REPRO_POOLING for this run; the
+    # default (None) keeps whatever the environment selected.
+    eng_ctx = engine(args.engine) if getattr(args, "engine", None) \
+        else nullcontext()
+    clear_fallbacks()
     profiler = None
     if getattr(args, "profile", False):
         import cProfile
 
         profiler = cProfile.Profile()
     try:
-        with _obs_context(args) as observer, ctx:
+        with _obs_context(args) as observer, ctx, eng_ctx:
             if profiler is not None:
                 profiler.enable()
             try:
@@ -347,6 +384,10 @@ def cmd_run(args) -> int:
         return 1
     c = machine.counters
     _export_obs(args, observer, extra={"counters": c.as_dict()})
+    fallbacks = fallback_log()
+    for primitive, reason in fallbacks:
+        print(f"fused: {primitive} fell back to pooled: {reason}",
+              file=sys.stderr)
     if getattr(args, "json", False):
         elapsed = machine.elapsed_ms()
         payload = {
@@ -361,6 +402,10 @@ def cmd_run(args) -> int:
             "counters": c.as_dict(),
             "arrays": _result_arrays(result),
         }
+        if getattr(args, "engine", None):
+            payload["engine"] = args.engine
+            payload["engine_fallbacks"] = [
+                {"primitive": p, "reason": r} for p, r in fallbacks]
         if args.sanitize:
             payload["sanitize"] = "clean"
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -419,7 +464,8 @@ def cmd_serve(args) -> int:
                 cache_bytes=args.cache_mb << 20,
                 retry=RetryPolicy(max_retries=args.max_retries),
                 fault_rate=args.fault_rate,
-                incremental=args.incremental)
+                incremental=args.incremental,
+                engine=getattr(args, "engine", None))
     _export_obs(args, observer, extra={"report": report.as_dict()})
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -492,6 +538,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--src", type=int, default=None)
     p.add_argument("--sanitize", action="store_true",
                    help="run under the dynamic race detector")
+    p.add_argument("--engine", choices=("unpooled", "pooled", "fused"),
+                   default=None,
+                   help="execution engine: library loop without/with memory "
+                        "pooling, or the trace-guided fused specializer "
+                        "(falls back to pooled when the plan is blocked); "
+                        "default honors REPRO_ENGINE / REPRO_POOLING")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output: counters, timings, and "
                         "crc32 checksums of every result array")
@@ -557,6 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "replica * kills the whole group")
     p.add_argument("--no-hedge", action="store_true",
                    help="disable hedged (duplicate) dispatch")
+    p.add_argument("--engine", choices=("unpooled", "pooled", "fused"),
+                   default=None,
+                   help="execution engine for cacheable (coalesced) "
+                        "batches; fused dispatches the compiled plan, "
+                        "cached per graph version")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
     _add_obs_options(p)
@@ -589,6 +646,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the recovered operator DAGs as Graphviz")
     p.add_argument("--strict", action="store_true",
                    help="also fail on stale lint: allow(...) suppressions")
+    p.add_argument("--plan", metavar="PRIMITIVE",
+                   help="print one primitive's fused execution plan "
+                        "(stages, mask shortcuts, atomic lowerings); "
+                        "exits 1 when the plan is blocked")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser(

@@ -47,26 +47,44 @@ class DirectionOptimizer:
         """
         if graph.n == 0:
             return self.mode
-        avg_deg = graph.m / max(1, graph.n)
-        unvisited_edges = unvisited_count * avg_deg
         if self.mode == "push":
             # Beamer's edge-volume test, guarded by the paper's own
             # condition ("when the number of unvisited vertices drops
             # below the size of the current frontier", §4.1.1): without
             # the guard, a hub burst on a huge-diameter graph flips to
             # pull while nearly everything is still unvisited, and the
-            # repeated unvisited scans swamp any saving.
-            if (frontier_edges > unvisited_edges / self.alpha
+            # repeated unvisited scans swamp any saving.  The frontier
+            # size guard ("never switch into a state the pull->push rule
+            # would immediately revert" — tail ping-pong on long-diameter
+            # graphs pays a full unvisited scan per flip) is evaluated
+            # first: it needs no edge volumes, so callers can skip
+            # computing them entirely when it fails
+            # (:meth:`needs_frontier_stats`).
+            if (frontier_size >= graph.n / self.beta
                     and 0 < unvisited_count < graph.n // 2
-                    # never switch into a state the pull->push rule would
-                    # immediately revert (tail ping-pong on long-diameter
-                    # graphs pays a full unvisited scan per flip)
-                    and frontier_size >= graph.n / self.beta):
+                    and frontier_edges > unvisited_count
+                    * (graph.m / max(1, graph.n)) / self.alpha):
                 self.mode = "pull"
         else:
             if frontier_size < graph.n / self.beta:
                 self.mode = "push"
         return self.mode
+
+    def needs_frontier_stats(self, graph: Csr, frontier_size: int) -> bool:
+        """Will :meth:`choose` actually read ``frontier_edges`` and
+        ``unvisited_count`` this super-step?
+
+        False whenever the cheap frontier-size guard already decides the
+        outcome: in pull mode the pull->push rule looks only at the
+        frontier size, and in push mode a frontier below ``n / beta``
+        can never flip.  Enactors use this to hoist the expensive
+        tracking (degree sums, unvisited recounts) out of the loop —
+        on a road network the guard never passes and BFS does zero
+        unvisited bookkeeping across hundreds of super-steps.
+        """
+        if self.mode == "pull" or graph.n == 0:
+            return False
+        return frontier_size >= graph.n / self.beta
 
     def reset(self) -> None:
         self.mode = "push"
@@ -85,6 +103,9 @@ class FixedDirection:
     def choose(self, graph: Csr, frontier_size: int, frontier_edges: int,
                unvisited_count: int) -> str:
         return self.mode
+
+    def needs_frontier_stats(self, graph: Csr, frontier_size: int) -> bool:
+        return False
 
     def reset(self) -> None:
         pass

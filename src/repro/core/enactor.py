@@ -193,10 +193,22 @@ class EnactorBase:
                           self.problem.machine,
                           primitive=self.primitive_name, n=g.n, m=g.m)
             with sp:
-                frontier = self._enact_loop(frontier)
+                fused = self._try_fused(frontier)
+                frontier = fused if fused is not None \
+                    else self._enact_loop(frontier)
                 sp.set(iterations=self.iteration)
             self.stats.iterations = self.iteration
         return frontier
+
+    def _try_fused(self, frontier: Frontier) -> Optional[Frontier]:
+        """Dispatch through the fused engine when it is selected and this
+        run's plan is fusable; None means "take the library loop" (the
+        fused module records the fallback reason)."""
+        from .engine import engine_mode
+        if engine_mode() != "fused":
+            return None
+        from .fused import try_fused
+        return try_fused(self, frontier)
 
     def _enact_loop(self, frontier: Frontier) -> Frontier:
         consecutive_failures = 0

@@ -1,0 +1,115 @@
+"""Execution-engine selection: unpooled / pooled / fused.
+
+The repo grew three ways to run a primitive:
+
+* **unpooled** — the oracle path: library operators, fresh allocations,
+  no artifact reuse.  Slow, obviously correct, the reference the other
+  two are pinned against.
+* **pooled** — library operators over the pooled workspace + graph
+  artifact cache (the production default since the memory-pooling PR).
+* **fused** — trace-guided specialization (:mod:`repro.core.fused`):
+  the verified operator DAG of a primitive is compiled into a single
+  super-step loop with no intermediate frontier materialization.  Only
+  primitives whose :mod:`repro.analysis.fusion` verdict is *fusable*
+  take this path; everything else silently falls back to pooled with a
+  logged reason.
+
+Selection mirrors the pooling toggle exactly (env var, process-wide
+setter, scoped context manager) because the engines nest: ``fused``
+implies the pooled workspace, ``unpooled`` implies pooling off.  The
+legacy ``REPRO_POOLING`` env var stays honored — it picks the default
+between unpooled and pooled when ``REPRO_ENGINE`` is unset.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+from .workspace import pooling_enabled, set_pooling
+
+ENGINES = ("unpooled", "pooled", "fused")
+
+#: process-wide override; None = derive from the pooling toggle
+_ENGINE: Optional[str] = None
+
+
+def _env_engine() -> Optional[str]:
+    raw = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    return raw if raw in ENGINES else None
+
+
+def engine_mode() -> str:
+    """The engine new enactor runs will use.
+
+    Resolution order: explicit :func:`set_engine` override, then the
+    ``REPRO_ENGINE`` env var, then the pooling toggle (``pooled`` when
+    pooling is on — the default — else ``unpooled``).
+    """
+    if _ENGINE is not None:
+        return _ENGINE
+    env = _env_engine()
+    if env is not None:
+        return env
+    return "pooled" if pooling_enabled() else "unpooled"
+
+
+def set_engine(mode: str) -> str:
+    """Select the engine process-wide; returns the previous resolved mode.
+
+    Keeps the pooling toggle consistent: the fused specializer runs on
+    pooled artifacts, so ``fused`` (and ``pooled``) force pooling on and
+    ``unpooled`` forces it off.
+    """
+    global _ENGINE
+    if mode not in ENGINES:
+        raise ValueError(f"unknown engine {mode!r}; expected one of {ENGINES}")
+    previous = engine_mode()
+    _ENGINE = mode
+    set_pooling(mode != "unpooled")
+    return previous
+
+
+@contextmanager
+def engine(mode: str) -> Iterator[None]:
+    """Scoped engine selection: ``with engine("fused"): ...``."""
+    global _ENGINE
+    prev_override = _ENGINE
+    prev_pooling = pooling_enabled()
+    set_engine(mode)
+    try:
+        yield
+    finally:
+        _ENGINE = prev_override
+        set_pooling(prev_pooling)
+
+
+# -- fallback bookkeeping ----------------------------------------------------
+#
+# When the engine is ``fused`` but a run cannot take the fused path, the
+# dispatcher records (primitive, reason) here so the CLI / tests / serving
+# tier can surface *why* — the fallback contract in DESIGN §15 requires the
+# reason to be observable, not just logged.
+
+_FALLBACKS: List[Tuple[str, str]] = []
+_FALLBACK_LIMIT = 256
+
+
+def record_fallback(primitive: str, reason: str) -> None:
+    if len(_FALLBACKS) >= _FALLBACK_LIMIT:
+        del _FALLBACKS[: _FALLBACK_LIMIT // 2]
+    _FALLBACKS.append((primitive, reason))
+
+
+def fallback_log() -> List[Tuple[str, str]]:
+    """Recent (primitive, reason) fused-dispatch fallbacks, oldest first."""
+    return list(_FALLBACKS)
+
+
+def last_fallback() -> Optional[Tuple[str, str]]:
+    return _FALLBACKS[-1] if _FALLBACKS else None
+
+
+def clear_fallbacks() -> None:
+    del _FALLBACKS[:]

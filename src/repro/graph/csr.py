@@ -104,7 +104,7 @@ class Csr:
     """
 
     __slots__ = ("indptr", "indices", "edge_values", "n", "m",
-                 "_csc", "_edge_sources", "_artifacts",
+                 "_csc", "_edge_sources", "_artifacts", "_fused_plans",
                  "vertex_props", "edge_props")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray,
@@ -123,6 +123,9 @@ class Csr:
         self._csc: Optional["Csr"] = None
         self._edge_sources: Optional[np.ndarray] = None
         self._artifacts: Optional[ArtifactCache] = None
+        #: per-primitive fused execution plans (repro.analysis.plan);
+        #: cached here so plans die with the graph they were learned on
+        self._fused_plans: Optional[dict] = None
         if validate:
             self.validate()
 

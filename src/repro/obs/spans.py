@@ -44,6 +44,8 @@ CAT_RECOVERY = "recovery"
 CAT_SHARD = "shard"
 #: streaming-graph events: delta compactions, incremental result repair
 CAT_DYNAMIC = "dynamic"
+#: fused-engine regions: one span per specialized primitive run
+CAT_FUSED = "fused"
 
 
 @dataclass

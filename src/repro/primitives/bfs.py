@@ -136,40 +136,36 @@ class BfsEnactor(EnactorBase):
         # the no-atomics BFS step may be re-applied harmlessly, so a
         # transient fault before its first kernel replays restore-free
         self.idempotent_replay = idempotent
+    def _recount_unvisited(self) -> int:
+        P: BfsProblem = self.problem
+        ws = P.workspace
+        if ws.pooled:
+            mask = ws.take("unvisited_mask", P.graph.n, np.bool_)
+            np.less(P.labels, 0, out=mask)
+            return int(np.count_nonzero(mask))
+        return int((P.labels < 0).sum())
 
     def _iterate(self, frontier: Frontier) -> Frontier:
         P: BfsProblem = self.problem
         depth = self.iteration + 1
         fn = (_IdempotentBfsFunctor if self.idempotent else _AtomicBfsFunctor)(depth)
-        frontier_edges = int(P.graph.degrees_of(frontier.items).sum())
+        # ``num_unvisited`` is maintained lazily: the direction policy is
+        # its only consumer and the policy's cheap frontier-size guard
+        # rules out a flip on most super-steps, so the count (and the
+        # frontier's degree sum) is recomputed only on the steps where
+        # the policy will actually read it.  On a road network the guard
+        # never passes and BFS does zero unvisited bookkeeping across
+        # hundreds of shallow super-steps; on scale-free graphs it pays
+        # one O(n) recount on the handful of hub-burst steps instead of
+        # an incremental dedup on every one.
+        frontier_edges = 0
+        if self.direction.needs_frontier_stats(P.graph, len(frontier)):
+            P.num_unvisited = self._recount_unvisited()
+            frontier_edges = int(P.graph.degrees_of(frontier.items).sum())
         mode = self.direction.choose(P.graph, len(frontier), frontier_edges,
                                      P.num_unvisited)
         out = self.advance(frontier, fn, mode=mode)
-        # Track the unvisited count for the direction policy.  The pooled
-        # variant is incremental when the advance output is small: that
-        # output is exactly the set of vertices labeled this super-step
-        # (cond admits only unvisited destinations, so no vertex is
-        # labeled twice across iterations), hence subtracting its distinct
-        # count gives the same integer as the legacy O(n) relabel scan —
-        # without touching all of V on every one of a road graph's
-        # hundreds of shallow iterations.  For outputs comparable to n
-        # (idempotent advance can emit ~|E| duplicate lanes on scale-free
-        # graphs) the dedup would cost more than the scan, so recount into
-        # borrowed scratch instead.
-        ws = P.workspace
-        if ws.pooled:
-            k = len(out)
-            if k:
-                if k < P.graph.n // 8:
-                    P.num_unvisited -= len(np.unique(out.items))
-                else:
-                    mask = ws.take("unvisited_mask", P.graph.n, np.bool_)
-                    np.less(P.labels, 0, out=mask)
-                    P.num_unvisited = int(np.count_nonzero(mask))
-        out = self.filter(out, fn, heuristics=self.heuristics)
-        if not ws.pooled:
-            P.num_unvisited = int((P.labels < 0).sum())
-        return out
+        return self.filter(out, fn, heuristics=self.heuristics)
 
 
 @dataclass

@@ -68,16 +68,20 @@ def run_serving(graph: Csr, spec: WorkloadSpec, *, devices: int = 1,
                 cache_bytes: int = 64 << 20,
                 retry: Optional[RetryPolicy] = None,
                 fault_rate: float = 0.0,
-                incremental: bool = False) -> ServeReport:
+                incremental: bool = False,
+                engine: Optional[str] = None) -> ServeReport:
     """Build a service, replay ``spec``'s workload on ``graph``, report.
 
     One call = one deterministic serving experiment: the report is a
     pure function of the graph and the spec (plus these knobs).
     ``incremental`` turns graph updates into delta applications with
     background repair of warm cache entries instead of
-    invalidate-everything version bumps.
+    invalidate-everything version bumps.  ``engine`` selects the
+    execution engine for cacheable (coalesced) batches — ``"fused"``
+    dispatches their compiled plans, which are cached per graph so the
+    tier pays specialization once per loaded version.
     """
-    service = GraphService(cache_bytes=cache_bytes)
+    service = GraphService(cache_bytes=cache_bytes, engine=engine)
     service.load_graph(graph)
     scheduler = DeadlineScheduler(
         service, devices=devices, max_queue=max_queue,

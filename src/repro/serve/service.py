@@ -111,10 +111,17 @@ def key_primitive(query_key: Tuple) -> str:
 class GraphService:
     """Versioned graph store + cache + batched execution backend."""
 
-    def __init__(self, *, cache_bytes: int = 64 << 20):
+    def __init__(self, *, cache_bytes: int = 64 << 20,
+                 engine: Optional[str] = None):
         self.graphs: Dict[str, VersionedGraph] = {}
         self.cache = ResultCache(cache_bytes)
         self.executed_batches: List[Tuple[str, int]] = []  # (primitive, lanes)
+        #: execution engine for cacheable (coalesced whole-graph) batches;
+        #: None honors the process default.  Lane-batched queries always
+        #: run pooled: their block-diagonal composite topology is a
+        #: per-batch throwaway, so fused plan compilation would churn
+        #: with no reuse.
+        self.engine = engine
 
     # -- graph lifecycle ---------------------------------------------------
 
@@ -190,8 +197,15 @@ class GraphService:
     def run_batch(self, graph_name: str, batch: Batch,
                   machine) -> Dict[Tuple, LaneResult]:
         """Execute one batch on a device machine and cache every lane."""
+        from ..core.engine import engine as engine_ctx
+        from .batcher import COALESCED_PRIMITIVES
+
         vg = self.graph_version(graph_name)
-        results = execute_batch(vg.csr, batch, machine=machine)
+        if self.engine and batch.primitive in COALESCED_PRIMITIVES:
+            with engine_ctx(self.engine):
+                results = execute_batch(vg.csr, batch, machine=machine)
+        else:
+            results = execute_batch(vg.csr, batch, machine=machine)
         for key, payload in results.items():
             self.cache.put(vg.name, vg.version, key, payload, payload.nbytes)
         self.executed_batches.append((batch.primitive, batch.lanes))

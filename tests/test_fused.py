@@ -1,0 +1,363 @@
+"""The fused engine's identity contract, fallback behavior, and plan cache.
+
+The tentpole invariant: for every fusable primitive, a fused run is
+bitwise-identical to the pooled library loop — every output array
+(values *and* dtype), every kernel record (name, cycles, items,
+iteration), the total simulated cycles, and every aggregate counter.
+Hypothesis drives random topologies through all three engines; the
+remaining tests pin the fallback contract (blocked primitives take the
+pooled path and surface a reason) and the per-graph plan cache.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import (clear_fallbacks, engine, engine_mode,
+                               fallback_log, last_fallback, set_engine)
+from repro.graph import from_edges
+from repro.graph.build import with_random_weights
+from repro.simt import Machine
+
+
+# -- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def edge_lists(draw, max_n=24, max_m=90):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=m, max_size=m))
+    return n, edges
+
+
+# -- identity harness ---------------------------------------------------------
+
+
+def _counter_signature(machine):
+    return [(k.name, k.cycles, k.items, k.iteration)
+            for k in machine.counters.kernels]
+
+
+def _run_three_engines(run):
+    """Run a primitive under unpooled, pooled, and fused; the fused run
+    must dispatch (no fallback recorded)."""
+    out = {}
+    for mode in ("unpooled", "pooled", "fused"):
+        clear_fallbacks()
+        with engine(mode):
+            machine = Machine()
+            out[mode] = (run(machine), machine)
+        if mode == "fused":
+            assert last_fallback() is None, \
+                f"fused run unexpectedly fell back: {last_fallback()}"
+    return out
+
+
+def _assert_identical(out):
+    """Outputs bitwise-equal across all three engines; kernel-counter
+    signatures and cycles equal between fused and the library loop."""
+    (ru, mu) = out["unpooled"]
+    (rp, mp) = out["pooled"]
+    (rf, mf) = out["fused"]
+    for key in rp.arrays:
+        for other in (ru, rf):
+            assert rp.arrays[key].dtype == other.arrays[key].dtype, key
+            assert np.array_equal(rp.arrays[key], other.arrays[key]), key
+    assert _counter_signature(mf) == _counter_signature(mp)
+    assert mf.counters.cycles == mp.counters.cycles
+    pooled, fused = mp.counters.as_dict(), mf.counters.as_dict()
+    pooled.pop("kernels", None), fused.pop("kernels", None)
+    assert pooled == fused
+
+
+# -- three-path identity, per primitive ---------------------------------------
+
+
+@given(edge_lists(), st.integers(0, 23),
+       st.sampled_from(["auto", "push"]), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_bfs_three_path_identity(data, src, direction, record_preds):
+    from repro.primitives import bfs
+
+    n, edges = data
+    g = from_edges(edges, n=n, undirected=True)
+    out = _run_three_engines(lambda m: bfs(
+        g, src % n, machine=m, direction=direction,
+        record_preds=record_preds))
+    _assert_identical(out)
+
+
+@given(edge_lists(), st.integers(0, 23), st.booleans(), st.integers(0, 2**32))
+@settings(max_examples=25, deadline=None)
+def test_sssp_three_path_identity(data, src, use_pq, weight_seed):
+    from repro.primitives import sssp
+
+    n, edges = data
+    g = with_random_weights(from_edges(edges, n=n, undirected=True),
+                            seed=weight_seed)
+    out = _run_three_engines(lambda m: sssp(
+        g, src % n, machine=m, use_priority_queue=use_pq))
+    _assert_identical(out)
+
+
+@given(edge_lists(), st.integers(1, 40))
+@settings(max_examples=20, deadline=None)
+def test_pagerank_three_path_identity(data, iterations):
+    from repro.primitives import pagerank
+
+    n, edges = data
+    g = from_edges(edges, n=n, undirected=True)
+    out = _run_three_engines(lambda m: pagerank(
+        g, machine=m, max_iterations=iterations))
+    _assert_identical(out)
+
+
+@given(edge_lists(), st.lists(st.integers(0, 23), min_size=1, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_ppr_three_path_identity(data, seeds):
+    from repro.primitives import ppr
+
+    n, edges = data
+    g = from_edges(edges, n=n, undirected=True)
+    out = _run_three_engines(lambda m: ppr(
+        g, [s % n for s in seeds], machine=m, max_iterations=40))
+    _assert_identical(out)
+
+
+@given(edge_lists())
+@settings(max_examples=20, deadline=None)
+def test_cc_three_path_identity(data):
+    from repro.primitives import cc
+
+    n, edges = data
+    g = from_edges(edges, n=n, undirected=True)
+    out = _run_three_engines(lambda m: cc(g, machine=m))
+    _assert_identical(out)
+
+
+@given(edge_lists(), st.integers(0, 23))
+@settings(max_examples=20, deadline=None)
+def test_bc_three_path_identity(data, src):
+    from repro.primitives import bc
+
+    n, edges = data
+    g = from_edges(edges, n=n, undirected=True)
+    out = _run_three_engines(lambda m: bc(g, src % n, machine=m))
+    _assert_identical(out)
+
+
+# -- fallback contract --------------------------------------------------------
+
+
+def _line_graph():
+    return from_edges([(i, i + 1) for i in range(16)], n=17, undirected=True)
+
+
+def test_non_idempotent_bfs_falls_back_with_reason():
+    """The CAS-claim BFS path is not specialized: fused runs must take
+    the pooled loop and record why."""
+    from repro.primitives import bfs
+
+    g = _line_graph()
+    clear_fallbacks()
+    with engine("fused"):
+        mf = Machine()
+        rf = bfs(g, 0, machine=mf, idempotent=False)
+    prim, reason = last_fallback()
+    assert prim == "bfs"
+    assert "idempotent" in reason
+    with engine("pooled"):
+        mp = Machine()
+        rp = bfs(g, 0, machine=mp, idempotent=False)
+    assert np.array_equal(rf.labels, rp.labels)
+    assert _counter_signature(mf) == _counter_signature(mp)
+
+
+def test_alternating_cc_falls_back_with_reason():
+    from repro.primitives import cc
+
+    g = _line_graph()
+    clear_fallbacks()
+    with engine("fused"):
+        r = cc(g, machine=Machine(), alternate=True)
+    prim, reason = last_fallback()
+    assert prim == "cc"
+    assert "alternating" in reason
+    assert r.num_components == 1
+
+
+def test_unplanned_primitive_falls_back():
+    """A primitive with no fused runner runs the library loop untouched."""
+    from repro.primitives import mis
+
+    g = _line_graph()
+    clear_fallbacks()
+    with engine("fused"):
+        r = mis(g, machine=Machine())
+    prim, reason = last_fallback()
+    assert "no fused runner" in reason
+    assert r.set_size > 0
+
+
+def test_sanitizer_disables_fusion():
+    """The race sanitizer instruments the library operators; fused runs
+    would escape it, so they must fall back."""
+    from repro.analysis import sanitize
+    from repro.primitives import bfs
+
+    g = _line_graph()
+    clear_fallbacks()
+    with engine("fused"), sanitize(strict=True):
+        bfs(g, 0, machine=Machine())
+    prim, reason = last_fallback()
+    assert prim == "bfs"
+    assert "sanitiz" in reason
+
+
+def test_fallback_log_accumulates_and_clears():
+    from repro.primitives import bfs
+
+    g = _line_graph()
+    clear_fallbacks()
+    with engine("fused"):
+        bfs(g, 0, idempotent=False)
+        bfs(g, 0, idempotent=False)
+    assert len(fallback_log()) == 2
+    clear_fallbacks()
+    assert fallback_log() == []
+    assert last_fallback() is None
+
+
+# -- engine selection ---------------------------------------------------------
+
+
+def test_engine_context_restores_mode():
+    before = engine_mode()
+    with engine("fused"):
+        assert engine_mode() == "fused"
+        with engine("unpooled"):
+            assert engine_mode() == "unpooled"
+        assert engine_mode() == "fused"
+    assert engine_mode() == before
+
+
+def test_engine_rejects_unknown_mode():
+    import pytest
+
+    with pytest.raises(ValueError):
+        set_engine("warp-speed")
+
+
+def test_fused_engine_implies_pooling():
+    from repro.core.workspace import pooling_enabled
+
+    with engine("fused"):
+        assert pooling_enabled()
+    with engine("unpooled"):
+        assert not pooling_enabled()
+
+
+# -- plans and the per-graph cache --------------------------------------------
+
+
+def test_plan_cache_reuses_compiled_plan():
+    from repro.analysis.plan import plan_for
+
+    g = _line_graph()
+    first = plan_for("bfs", g)
+    assert plan_for("bfs", g) is first
+    # a different graph compiles its own regime table
+    other = plan_for("bfs", _line_graph())
+    assert other is not first
+    assert other.static_dict() == first.static_dict()
+
+
+def test_fused_run_attaches_plan_and_caches_it():
+    from repro.primitives import bfs
+
+    g = _line_graph()
+    assert g._fused_plans is None or "bfs" not in g._fused_plans
+    with engine("fused"):
+        bfs(g, 0, machine=Machine())
+    assert "bfs" in g._fused_plans
+    plan = g._fused_plans["bfs"]
+    assert plan.fusable
+    assert plan.regimes is not None and plan.regimes.n == g.n
+
+
+def test_blocked_plan_carries_reasons():
+    from repro.analysis.plan import compile_plan
+
+    plan = compile_plan(None, "nonesuch")
+    assert not plan.fusable
+    assert any("no analysis report" in r for r in plan.blocked)
+
+
+def test_static_plans_cover_fusable_primitives():
+    from repro.analysis.plan import static_plans
+
+    plans = static_plans()
+    for name in ("bfs", "sssp", "pagerank", "ppr", "cc", "bc"):
+        assert name in plans, name
+        assert plans[name].fusable, (name, plans[name].blocked)
+    # hardwired primitives must be blocked, never silently planned
+    assert not plans["triangles"].fusable
+
+
+def test_plan_masks_and_lowerings_are_classified():
+    from repro.analysis.plan import static_plans
+
+    plans = static_plans()
+    valid = {"known_true", "known_false", "dynamic"}
+    for plan in plans.values():
+        for stage in plan.stages:
+            assert stage.cond_mask in valid
+            assert stage.apply_mask in valid
+    # sssp's relax has no cond_edge: every lane enters apply
+    relax = next(s for s in plans["sssp"].stages if s.op == "advance")
+    assert relax.cond_mask == "known_true"
+    assert relax.apply_mask == "dynamic"
+    assert plans["sssp"].atomic_lowerings["min"] == "winner_lane_fold"
+    assert plans["pagerank"].atomic_lowerings["add"] == "segmented_sum"
+
+
+def test_report_schema_v2_serializes_plans():
+    from repro.analysis.fusion import analyze_paths
+    from repro.analysis.report import (REPORT_SCHEMA_VERSION,
+                                       report_to_dict, validate_report_dict)
+    import os
+
+    import repro
+
+    assert REPORT_SCHEMA_VERSION == 2
+    pkg = os.path.dirname(os.path.abspath(repro.__file__))
+    report = analyze_paths([os.path.join(pkg, "primitives")])
+    data = report_to_dict(report)
+    assert validate_report_dict(data) == []
+    assert data["fused_plans"]["bfs"]["fusable"]
+
+
+# -- observability ------------------------------------------------------------
+
+
+def test_fused_span_and_dispatch_counter():
+    from repro.obs import observe
+    from repro.obs.spans import CAT_FUSED
+    from repro.primitives import bfs
+
+    g = _line_graph()
+    with observe() as ob, engine("fused"):
+        bfs(g, 0, machine=Machine())
+        bfs(g, 0, machine=Machine(), idempotent=False)  # falls back
+    fused_spans = [s for s in ob.tracer.spans if s.cat == CAT_FUSED]
+    assert len(fused_spans) == 1
+    assert fused_spans[0].args["primitive"] == "bfs"
+    assert "advance" in fused_spans[0].args["fused_ops"]
+    assert fused_spans[0].args["stage_count"] >= 1
+    counts = ob.metrics.as_dict()
+    assert counts[
+        'repro_fused_dispatch_total{engine="fused",primitive="bfs"}'] == 1.0
+    assert counts[
+        'repro_fused_dispatch_total{engine="pooled",primitive="bfs"}'] == 1.0
