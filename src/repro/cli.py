@@ -385,8 +385,9 @@ def cmd_run(args) -> int:
     c = machine.counters
     _export_obs(args, observer, extra={"counters": c.as_dict()})
     fallbacks = fallback_log()
+    eng_label = getattr(args, "engine", None) or "engine"
     for primitive, reason in fallbacks:
-        print(f"fused: {primitive} fell back to pooled: {reason}",
+        print(f"{eng_label}: {primitive} fell back to pooled: {reason}",
               file=sys.stderr)
     if getattr(args, "json", False):
         elapsed = machine.elapsed_ms()
@@ -538,11 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--src", type=int, default=None)
     p.add_argument("--sanitize", action="store_true",
                    help="run under the dynamic race detector")
-    p.add_argument("--engine", choices=("unpooled", "pooled", "fused"),
+    p.add_argument("--engine",
+                   choices=("unpooled", "pooled", "fused", "la"),
                    default=None,
                    help="execution engine: library loop without/with memory "
-                        "pooling, or the trace-guided fused specializer "
-                        "(falls back to pooled when the plan is blocked); "
+                        "pooling, the trace-guided fused specializer, or "
+                        "the linear-algebra (masked SpMV/SpMSpV) backend "
+                        "(both fall back to pooled when a run has no "
+                        "specialization); "
                         "default honors REPRO_ENGINE / REPRO_POOLING")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output: counters, timings, and "
@@ -609,11 +613,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "replica * kills the whole group")
     p.add_argument("--no-hedge", action="store_true",
                    help="disable hedged (duplicate) dispatch")
-    p.add_argument("--engine", choices=("unpooled", "pooled", "fused"),
+    p.add_argument("--engine",
+                   choices=("unpooled", "pooled", "fused", "la"),
                    default=None,
-                   help="execution engine for cacheable (coalesced) "
+                   help="execution engine for cacheable (coalesced/solo) "
                         "batches; fused dispatches the compiled plan, "
-                        "cached per graph version")
+                        "cached per graph version; la dispatches the "
+                        "linear-algebra backend")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
     _add_obs_options(p)

@@ -193,22 +193,27 @@ class EnactorBase:
                           self.problem.machine,
                           primitive=self.primitive_name, n=g.n, m=g.m)
             with sp:
-                fused = self._try_fused(frontier)
-                frontier = fused if fused is not None \
+                specialized = self._try_backend(frontier)
+                frontier = specialized if specialized is not None \
                     else self._enact_loop(frontier)
                 sp.set(iterations=self.iteration)
             self.stats.iterations = self.iteration
         return frontier
 
-    def _try_fused(self, frontier: Frontier) -> Optional[Frontier]:
-        """Dispatch through the fused engine when it is selected and this
-        run's plan is fusable; None means "take the library loop" (the
-        fused module records the fallback reason)."""
+    def _try_backend(self, frontier: Frontier) -> Optional[Frontier]:
+        """Dispatch through a specialized engine (fused super-steps or
+        the linear-algebra backend) when one is selected and this run is
+        eligible; None means "take the library loop" (the engine module
+        records the fallback reason)."""
         from .engine import engine_mode
-        if engine_mode() != "fused":
-            return None
-        from .fused import try_fused
-        return try_fused(self, frontier)
+        mode = engine_mode()
+        if mode == "fused":
+            from .fused import try_fused
+            return try_fused(self, frontier)
+        if mode == "la":
+            from ..la import try_la
+            return try_la(self, frontier)
+        return None
 
     def _enact_loop(self, frontier: Frontier) -> Frontier:
         consecutive_failures = 0

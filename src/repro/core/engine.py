@@ -1,6 +1,6 @@
-"""Execution-engine selection: unpooled / pooled / fused.
+"""Execution-engine selection: unpooled / pooled / fused / la.
 
-The repo grew three ways to run a primitive:
+The repo grew four ways to run a primitive:
 
 * **unpooled** — the oracle path: library operators, fresh allocations,
   no artifact reuse.  Slow, obviously correct, the reference the other
@@ -13,6 +13,11 @@ The repo grew three ways to run a primitive:
   primitives whose :mod:`repro.analysis.fusion` verdict is *fusable*
   take this path; everything else silently falls back to pooled with a
   logged reason.
+* **la** — the GraphBLAS-style linear-algebra backend
+  (:mod:`repro.la`): frontier operations become masked SpMSpV (push)
+  or SpMV (pull) over the frozen CSR/CSC artifacts, with a semiring
+  per primitive.  Primitives without a linear-algebra lowering fall
+  back to pooled with a logged reason (DESIGN §16).
 
 Selection mirrors the pooling toggle exactly (env var, process-wide
 setter, scoped context manager) because the engines nest: ``fused``
@@ -29,7 +34,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from .workspace import pooling_enabled, set_pooling
 
-ENGINES = ("unpooled", "pooled", "fused")
+ENGINES = ("unpooled", "pooled", "fused", "la")
 
 #: process-wide override; None = derive from the pooling toggle
 _ENGINE: Optional[str] = None
@@ -58,9 +63,9 @@ def engine_mode() -> str:
 def set_engine(mode: str) -> str:
     """Select the engine process-wide; returns the previous resolved mode.
 
-    Keeps the pooling toggle consistent: the fused specializer runs on
-    pooled artifacts, so ``fused`` (and ``pooled``) force pooling on and
-    ``unpooled`` forces it off.
+    Keeps the pooling toggle consistent: the fused specializer and the
+    linear-algebra backend run on pooled artifacts, so ``fused``, ``la``
+    (and ``pooled``) force pooling on and ``unpooled`` forces it off.
     """
     global _ENGINE
     if mode not in ENGINES:
@@ -87,10 +92,10 @@ def engine(mode: str) -> Iterator[None]:
 
 # -- fallback bookkeeping ----------------------------------------------------
 #
-# When the engine is ``fused`` but a run cannot take the fused path, the
-# dispatcher records (primitive, reason) here so the CLI / tests / serving
-# tier can surface *why* — the fallback contract in DESIGN §15 requires the
-# reason to be observable, not just logged.
+# When the engine is ``fused`` or ``la`` but a run cannot take the
+# specialized path, the dispatcher records (primitive, reason) here so the
+# CLI / tests / serving tier can surface *why* — the fallback contract in
+# DESIGN §15/§16 requires the reason to be observable, not just logged.
 
 _FALLBACKS: List[Tuple[str, str]] = []
 _FALLBACK_LIMIT = 256
@@ -103,7 +108,7 @@ def record_fallback(primitive: str, reason: str) -> None:
 
 
 def fallback_log() -> List[Tuple[str, str]]:
-    """Recent (primitive, reason) fused-dispatch fallbacks, oldest first."""
+    """Recent (primitive, reason) engine-dispatch fallbacks, oldest first."""
     return list(_FALLBACKS)
 
 

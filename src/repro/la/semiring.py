@@ -1,0 +1,205 @@
+"""Semirings and masked sparse matrix-vector products (DESIGN §16).
+
+The GraphBLAS view of a frontier operation: the graph is a sparse
+boolean (or weighted) matrix ``A``, the frontier is a vector ``x``, and
+one advance step is ``y = xᵀ ⊗.⊕ A`` under a primitive-specific
+semiring — min-plus for SSSP relaxation, boolean or-and for BFS
+reachability, plus-times for PageRank/PPR mass propagation, min-select
+for connected-components label diffusion.  A *mask* restricts which
+output slots may receive values; BFS's visited set enters as a
+structural complement mask (``mask_complement=True``).
+
+Two product shapes, matching Gunrock's push/pull duality:
+
+* :func:`spmspv` — sparse input vector, push along out-edges of the
+  vector's support (``advance`` over a sparse frontier).
+* :func:`spmv` — dense input vector, pull along in-edges (CSC) of the
+  masked output rows (``advance_pull`` over a dense frontier).
+
+Both return deterministic results: output ids ascending, reductions
+over a fixed lane order.  The plus-times monoid accumulates in *lane
+order* (via ``np.bincount``) rather than ``np.add.reduceat`` — numpy's
+reduceat uses pairwise summation, which is not bitwise-identical to the
+operator engines' segmented-sum lowering; min/or monoids are exact in
+any order and reduce with ``ufunc.reduceat``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+INT64_MAX = np.iinfo(np.int64).max
+
+_EMPTY_IDS = np.zeros(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An (⊕, ⊗) pair over a value domain.
+
+    ``add`` is the reduction monoid (a numpy ufunc), ``identity`` its
+    unit, and ``mul`` combines a lane's vector value with its edge value
+    (``None`` edge values mean the structural matrix: every stored edge
+    is an implicit ⊗-unit).
+    """
+
+    name: str
+    add: np.ufunc
+    identity: object
+    dtype: object
+    mul: Callable[[np.ndarray, Optional[np.ndarray]], np.ndarray]
+
+
+def _plus(x: np.ndarray, w: Optional[np.ndarray]) -> np.ndarray:
+    return x if w is None else x + w
+
+
+def _times(x: np.ndarray, w: Optional[np.ndarray]) -> np.ndarray:
+    return x if w is None else x * w
+
+
+def _and(x: np.ndarray, w: Optional[np.ndarray]) -> np.ndarray:
+    return x if w is None else np.logical_and(x, w != 0)
+
+
+def _select_first(x: np.ndarray, w: Optional[np.ndarray]) -> np.ndarray:
+    return x
+
+
+#: SSSP relaxation: candidate distance = dist[u] + w(u, v), keep the min.
+MIN_PLUS = Semiring("min_plus", np.minimum, np.inf, np.float64, _plus)
+#: BFS reachability: reached = OR over frontier in-neighbors.
+BOOL_OR_AND = Semiring("bool_or_and", np.logical_or, False, np.bool_, _and)
+#: PageRank/PPR mass propagation: residual inflow = Σ contributions.
+PLUS_TIMES = Semiring("plus_times", np.add, 0.0, np.float64, _times)
+#: CC label diffusion: take the smallest neighbor component id.
+MIN_SELECT = Semiring("min_select", np.minimum, INT64_MAX, np.int64,
+                      _select_first)
+
+SEMIRINGS = {s.name: s for s in (MIN_PLUS, BOOL_OR_AND, PLUS_TIMES,
+                                 MIN_SELECT)}
+
+
+def _expand(graph, x_ids: np.ndarray):
+    """Edge lanes of the rows in ``x_ids``: (eids, dst, src, degs, ne)."""
+    degs = graph.degrees_of(x_ids)
+    ne = int(degs.sum())
+    if ne == 0:
+        return _EMPTY_IDS, _EMPTY_IDS, _EMPTY_IDS, degs, 0
+    offsets = np.concatenate(([0], np.cumsum(degs)))[:-1]
+    starts = graph.indptr[x_ids].astype(np.int64)
+    eids = np.repeat(starts - offsets, degs) + np.arange(ne, dtype=np.int64)
+    dst = graph.indices[eids].astype(np.int64)
+    src = np.repeat(x_ids, degs)
+    return eids, dst, src, degs, ne
+
+
+def _empty(semiring: Semiring, witness: bool):
+    vals = np.zeros(0, dtype=semiring.dtype)
+    if witness:
+        return _EMPTY_IDS, vals, _EMPTY_IDS
+    return _EMPTY_IDS, vals
+
+
+def spmspv(graph, x_ids, x_vals, semiring: Semiring, *,
+           edge_values: Optional[np.ndarray] = None,
+           mask: Optional[np.ndarray] = None,
+           mask_complement: bool = False,
+           witness: bool = False) -> Tuple[np.ndarray, ...]:
+    """Masked sparse-vector × sparse-matrix product (push).
+
+    ``x_ids`` (ascending vertex ids) and ``x_vals`` form the sparse
+    input vector; the product pushes each value along the out-edges of
+    its vertex and ⊕-reduces per destination.  ``mask`` is a dense
+    boolean vertex array selecting admissible destinations
+    (``mask_complement=True`` selects where the mask is False — the
+    structural-complement form used for visited sets).
+
+    Returns ``(ids, vals)`` with ids strictly ascending — or, with
+    ``witness=True``, ``(ids, vals, wit)`` where ``wit[i]`` is the
+    smallest source id among lanes achieving ``vals[i]`` (the
+    deterministic parent/predecessor witness).
+    """
+    x_ids = np.asarray(x_ids, dtype=np.int64)
+    eids, dst, src, degs, ne = _expand(graph, x_ids)
+    if ne == 0:
+        return _empty(semiring, witness)
+    xl = np.repeat(np.asarray(x_vals, dtype=semiring.dtype), degs)
+    ev = None if edge_values is None else np.asarray(edge_values)[eids]
+    vals = semiring.mul(xl, ev)
+    if mask is not None:
+        keep = ~mask[dst] if mask_complement else mask[dst]
+        dst, src, vals = dst[keep], src[keep], vals[keep]
+        if len(dst) == 0:
+            return _empty(semiring, witness)
+    if semiring.add is np.add:
+        # lane-order accumulation: bitwise-identical to the operator
+        # engines' segmented sums (reduceat would sum pairwise)
+        ids = np.unique(dst)
+        dense = np.bincount(dst, weights=vals, minlength=graph.n)
+        out = dense[ids].astype(semiring.dtype)
+        if witness:
+            raise ValueError("witness is not defined for plus-times")
+        return ids, out
+    order = np.argsort(dst, kind="stable")
+    sd, sv, ss = dst[order], vals[order], src[order]
+    ids, starts = np.unique(sd, return_index=True)
+    out = semiring.add.reduceat(sv, starts)
+    if not witness:
+        return ids, out
+    counts = np.diff(np.append(starts, len(sd)))
+    achieved = sv == np.repeat(out, counts)
+    wit = np.minimum.reduceat(np.where(achieved, ss, INT64_MAX), starts)
+    return ids, out, wit
+
+
+def spmv(graph, x: np.ndarray, semiring: Semiring, *,
+         mask: Optional[np.ndarray] = None,
+         mask_complement: bool = False,
+         witness: bool = False):
+    """Masked dense-vector product over the structural matrix (pull).
+
+    For each output row ``v`` admitted by the mask, gathers ``x`` over
+    ``v``'s in-neighbors (the frozen CSC artifact) and ⊕-reduces; rows
+    outside the mask — and rows with no in-edges — hold the ⊕-identity.
+    Only the structural (unit-valued) matrix is supported: every pull
+    lowering in this backend folds per-edge values into ``x`` first.
+
+    Returns the dense result ``y`` — or, with ``witness=True``,
+    ``(y, wit)`` where ``wit[v]`` is the smallest in-neighbor achieving
+    ``y[v]`` (``-1`` for identity rows).
+    """
+    csc = graph.csc
+    n = graph.n
+    y = np.full(n, semiring.identity, dtype=semiring.dtype)
+    if mask is None:
+        rows = np.arange(n, dtype=np.int64)
+    else:
+        rows = np.flatnonzero(~mask if mask_complement else mask)
+    wit = np.full(n, -1, dtype=np.int64) if witness else None
+    if len(rows) == 0:
+        return (y, wit) if witness else y
+    degs = csc.degrees_of(rows)
+    ne = int(degs.sum())
+    if ne == 0:
+        return (y, wit) if witness else y
+    offsets = np.concatenate(([0], np.cumsum(degs)))[:-1]
+    starts = csc.indptr[rows].astype(np.int64)
+    eids = np.repeat(starts - offsets, degs) + np.arange(ne, dtype=np.int64)
+    srcs = csc.indices[eids].astype(np.int64)
+    rowlanes = np.repeat(rows, degs)
+    lane_vals = np.asarray(x, dtype=semiring.dtype)[srcs]
+    # rowlanes is grouped by ascending row already; np.unique recovers
+    # the segment starts (zero-degree rows simply never appear)
+    ids, seg_starts = np.unique(rowlanes, return_index=True)
+    y[ids] = semiring.add.reduceat(lane_vals, seg_starts)
+    if not witness:
+        return y
+    counts = np.diff(np.append(seg_starts, ne))
+    achieved = lane_vals == np.repeat(y[ids], counts)
+    wit[ids] = np.minimum.reduceat(
+        np.where(achieved, srcs, INT64_MAX), seg_starts)
+    return y, wit

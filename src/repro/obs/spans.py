@@ -46,6 +46,8 @@ CAT_SHARD = "shard"
 CAT_DYNAMIC = "dynamic"
 #: fused-engine regions: one span per specialized primitive run
 CAT_FUSED = "fused"
+#: linear-algebra engine regions: one span per SpMV/SpMSpV-lowered run
+CAT_LA = "la"
 
 
 @dataclass

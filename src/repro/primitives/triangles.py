@@ -48,7 +48,17 @@ def triangle_count(graph: Csr, *, machine: Optional[Machine] = None
                    ) -> TriangleResult:
     """Count triangles of an undirected graph (stored with both edge
     directions).  Returns the global count and a per-vertex incidence
-    count (each triangle credits all three corners)."""
+    count (each triangle credits all three corners).
+
+    Under ``--engine la`` the count lowers to a masked SpGEMM
+    (:mod:`repro.la.spgemm`); without scipy that path records a
+    fallback and the intersection engine below runs instead."""
+    from ..core.engine import engine_mode
+    if engine_mode() == "la":
+        from ..la.spgemm import try_triangles_la
+        la_result = try_triangles_la(graph, machine=machine)
+        if la_result is not None:
+            return la_result
     dag = _forward_dag(graph)
     per_vertex = np.zeros(graph.n, dtype=np.int64)
     total = 0

@@ -116,12 +116,16 @@ class GraphService:
         self.graphs: Dict[str, VersionedGraph] = {}
         self.cache = ResultCache(cache_bytes)
         self.executed_batches: List[Tuple[str, int]] = []  # (primitive, lanes)
-        #: execution engine for cacheable (coalesced whole-graph) batches;
-        #: None honors the process default.  Lane-batched queries always
-        #: run pooled: their block-diagonal composite topology is a
-        #: per-batch throwaway, so fused plan compilation would churn
-        #: with no reuse.
+        #: execution engine for cacheable whole-graph batches (coalesced
+        #: and solo); None honors the process default.  Lane-batched
+        #: queries always run pooled: their block-diagonal composite
+        #: topology is a per-batch throwaway, so fused plan compilation
+        #: would churn with no reuse.
         self.engine = engine
+        #: (primitive, reason) pairs recorded when an engine-dispatched
+        #: batch fell back to pooled (e.g. ``la`` on a primitive without
+        #: a lowering) — the serve tier's view of the fallback contract
+        self.engine_fallbacks: List[Tuple[str, str]] = []
 
     # -- graph lifecycle ---------------------------------------------------
 
@@ -197,13 +201,16 @@ class GraphService:
     def run_batch(self, graph_name: str, batch: Batch,
                   machine) -> Dict[Tuple, LaneResult]:
         """Execute one batch on a device machine and cache every lane."""
-        from ..core.engine import engine as engine_ctx
-        from .batcher import COALESCED_PRIMITIVES
+        from ..core.engine import engine as engine_ctx, fallback_log
+        from .batcher import COALESCED_PRIMITIVES, SOLO_PRIMITIVES
 
         vg = self.graph_version(graph_name)
-        if self.engine and batch.primitive in COALESCED_PRIMITIVES:
+        if self.engine and batch.primitive in (COALESCED_PRIMITIVES
+                                              + SOLO_PRIMITIVES):
+            before = len(fallback_log())
             with engine_ctx(self.engine):
                 results = execute_batch(vg.csr, batch, machine=machine)
+            self.engine_fallbacks.extend(fallback_log()[before:])
         else:
             results = execute_batch(vg.csr, batch, machine=machine)
         for key, payload in results.items():

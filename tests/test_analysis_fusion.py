@@ -67,6 +67,27 @@ def test_hardwired_primitives_flagged(tree_report):
             if p.hardwired} == HARDWIRED
 
 
+def test_every_fusable_verdict_has_a_compiled_plan(tree_report):
+    """Plan-coverage regression (guards ROADMAP item 3's cleanup): every
+    primitive the analyzer reports fusable must have a compiled plan,
+    and every blocked primitive must surface a non-empty reason string
+    through its plan — a verdict without a plan (or a blocked plan
+    without a reason) means the specializer and the analyzer drifted."""
+    from repro.analysis.plan import static_plans
+
+    plans = static_plans()
+    for rep in tree_report.primitives:
+        assert rep.name in plans, rep.name
+        plan = plans[rep.name]
+        if rep.fusable:
+            assert plan.fusable, (rep.name, plan.blocked)
+            assert plan.stages, f"{rep.name}: fusable plan has no stages"
+        else:
+            assert not plan.fusable, rep.name
+            assert plan.blocked, f"{rep.name}: blocked without a reason"
+            assert all(r.strip() for r in plan.blocked), rep.name
+
+
 def test_shipped_tree_analyzes_clean(tree_report):
     """The acceptance bar: no unsuppressed GR006-GR012 violations and no
     stale suppressions in the tree we ship."""

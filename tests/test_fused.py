@@ -4,14 +4,17 @@ The tentpole invariant: for every fusable primitive, a fused run is
 bitwise-identical to the pooled library loop — every output array
 (values *and* dtype), every kernel record (name, cycles, items,
 iteration), the total simulated cycles, and every aggregate counter.
-Hypothesis drives random topologies through all three engines; the
-remaining tests pin the fallback contract (blocked primitives take the
-pooled path and surface a reason) and the per-graph plan cache.
+Hypothesis drives random topologies through all four engines via the
+shared differential harness (:mod:`engines`), which also asserts the
+la backend's per-primitive contract; the remaining tests pin the
+fallback contract (blocked primitives take the pooled path and surface
+a reason) and the per-graph plan cache.
 """
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from engines import counter_signature as _counter_signature, run_all_engines
 from repro.core.engine import (clear_fallbacks, engine, engine_mode,
                                fallback_log, last_fallback, set_engine)
 from repro.graph import from_edges
@@ -32,120 +35,61 @@ def edge_lists(draw, max_n=24, max_m=90):
     return n, edges
 
 
-# -- identity harness ---------------------------------------------------------
-
-
-def _counter_signature(machine):
-    return [(k.name, k.cycles, k.items, k.iteration)
-            for k in machine.counters.kernels]
-
-
-def _run_three_engines(run):
-    """Run a primitive under unpooled, pooled, and fused; the fused run
-    must dispatch (no fallback recorded)."""
-    out = {}
-    for mode in ("unpooled", "pooled", "fused"):
-        clear_fallbacks()
-        with engine(mode):
-            machine = Machine()
-            out[mode] = (run(machine), machine)
-        if mode == "fused":
-            assert last_fallback() is None, \
-                f"fused run unexpectedly fell back: {last_fallback()}"
-    return out
-
-
-def _assert_identical(out):
-    """Outputs bitwise-equal across all three engines; kernel-counter
-    signatures and cycles equal between fused and the library loop."""
-    (ru, mu) = out["unpooled"]
-    (rp, mp) = out["pooled"]
-    (rf, mf) = out["fused"]
-    for key in rp.arrays:
-        for other in (ru, rf):
-            assert rp.arrays[key].dtype == other.arrays[key].dtype, key
-            assert np.array_equal(rp.arrays[key], other.arrays[key]), key
-    assert _counter_signature(mf) == _counter_signature(mp)
-    assert mf.counters.cycles == mp.counters.cycles
-    pooled, fused = mp.counters.as_dict(), mf.counters.as_dict()
-    pooled.pop("kernels", None), fused.pop("kernels", None)
-    assert pooled == fused
-
-
-# -- three-path identity, per primitive ---------------------------------------
+# -- cross-engine identity, per primitive (shared harness) --------------------
 
 
 @given(edge_lists(), st.integers(0, 23),
        st.sampled_from(["auto", "push"]), st.booleans())
 @settings(max_examples=25, deadline=None)
-def test_bfs_three_path_identity(data, src, direction, record_preds):
-    from repro.primitives import bfs
-
+def test_bfs_cross_engine_identity(data, src, direction, record_preds):
     n, edges = data
     g = from_edges(edges, n=n, undirected=True)
-    out = _run_three_engines(lambda m: bfs(
-        g, src % n, machine=m, direction=direction,
-        record_preds=record_preds))
-    _assert_identical(out)
+    run_all_engines("bfs", g, src=src % n, direction=direction,
+                    record_preds=record_preds)
 
 
 @given(edge_lists(), st.integers(0, 23), st.booleans(), st.integers(0, 2**32))
 @settings(max_examples=25, deadline=None)
-def test_sssp_three_path_identity(data, src, use_pq, weight_seed):
-    from repro.primitives import sssp
-
+def test_sssp_cross_engine_identity(data, src, use_pq, weight_seed):
     n, edges = data
     g = with_random_weights(from_edges(edges, n=n, undirected=True),
                             seed=weight_seed)
-    out = _run_three_engines(lambda m: sssp(
-        g, src % n, machine=m, use_priority_queue=use_pq))
-    _assert_identical(out)
+    run_all_engines("sssp", g, src=src % n, use_priority_queue=use_pq)
 
 
 @given(edge_lists(), st.integers(1, 40))
 @settings(max_examples=20, deadline=None)
-def test_pagerank_three_path_identity(data, iterations):
-    from repro.primitives import pagerank
-
+def test_pagerank_cross_engine_identity(data, iterations):
     n, edges = data
     g = from_edges(edges, n=n, undirected=True)
-    out = _run_three_engines(lambda m: pagerank(
-        g, machine=m, max_iterations=iterations))
-    _assert_identical(out)
+    run_all_engines("pagerank", g, max_iterations=iterations)
 
 
 @given(edge_lists(), st.lists(st.integers(0, 23), min_size=1, max_size=4))
 @settings(max_examples=20, deadline=None)
-def test_ppr_three_path_identity(data, seeds):
-    from repro.primitives import ppr
-
+def test_ppr_cross_engine_identity(data, seeds):
     n, edges = data
     g = from_edges(edges, n=n, undirected=True)
-    out = _run_three_engines(lambda m: ppr(
-        g, [s % n for s in seeds], machine=m, max_iterations=40))
-    _assert_identical(out)
+    run_all_engines("ppr", g, seeds=[s % n for s in seeds],
+                    max_iterations=40)
 
 
 @given(edge_lists())
 @settings(max_examples=20, deadline=None)
-def test_cc_three_path_identity(data):
-    from repro.primitives import cc
-
+def test_cc_cross_engine_identity(data):
     n, edges = data
     g = from_edges(edges, n=n, undirected=True)
-    out = _run_three_engines(lambda m: cc(g, machine=m))
-    _assert_identical(out)
+    run_all_engines("cc", g)
 
 
 @given(edge_lists(), st.integers(0, 23))
 @settings(max_examples=20, deadline=None)
-def test_bc_three_path_identity(data, src):
-    from repro.primitives import bc
-
+def test_bc_cross_engine_identity(data, src):
+    # bc has no LA lowering: the harness asserts the la run falls back
+    # to pooled (with a reason) and stays bitwise-identical
     n, edges = data
     g = from_edges(edges, n=n, undirected=True)
-    out = _run_three_engines(lambda m: bc(g, src % n, machine=m))
-    _assert_identical(out)
+    run_all_engines("bc", g, src=src % n)
 
 
 # -- fallback contract --------------------------------------------------------

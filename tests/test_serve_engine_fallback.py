@@ -1,0 +1,77 @@
+"""Serve-tier engine fallback contract: a batch dispatched with an
+engine that has no lowering for its primitive must fall back to pooled
+with a recorded reason, and the reply must stay bitwise-equal to a
+pooled run.  Batches the engine *can* lower must dispatch it.
+"""
+
+import numpy as np
+
+from repro.graph import generators
+from repro.obs import observe
+from repro.serve.batcher import plan_batches
+from repro.serve.service import GraphService
+from repro.simt import Machine
+
+
+def _graph():
+    return generators.kronecker(8, seed=3)
+
+
+def _run_service(engine, requests):
+    svc = GraphService(engine=engine)
+    svc.load_graph(_graph())
+    replies = {}
+    for prim, params in requests:
+        for batch in plan_batches(prim, [(0, params)]):
+            replies.update(svc.run_batch("default", batch, Machine()))
+    return svc, replies
+
+
+def _assert_replies_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        assert set(a[key].arrays) == set(b[key].arrays)
+        for name in a[key].arrays:
+            assert np.array_equal(a[key].arrays[name], b[key].arrays[name]), \
+                (key, name)
+
+
+def test_solo_batch_without_lowering_falls_back_with_reason():
+    g = _graph()
+    user = int(g.out_degrees.argmax())
+    svc_la, r_la = _run_service("la", [("wtf", {"user": user})])
+    svc_p, r_p = _run_service(None, [("wtf", {"user": user})])
+    assert svc_la.engine_fallbacks, "fallback not recorded on the service"
+    assert any("no linear-algebra lowering" in reason
+               for _, reason in svc_la.engine_fallbacks)
+    assert not svc_p.engine_fallbacks
+    _assert_replies_equal(r_la, r_p)
+
+
+def test_coalesced_batch_dispatches_la_and_matches_pooled():
+    req = [("pagerank", {"max_iterations": 25})]
+    with observe() as ob:
+        svc_la, r_la = _run_service("la", req)
+    _, r_p = _run_service(None, req)
+    assert not [f for f in svc_la.engine_fallbacks if f[0] == "pagerank"]
+    counts = ob.metrics.as_dict()
+    assert counts.get(
+        'repro_la_dispatch_total{engine="la",primitive="pagerank"}',
+        0.0) >= 1.0
+    # the la pagerank loop replays the pooled residual schedule: the
+    # served rank vector matches bitwise (contract is allclose)
+    _assert_replies_equal(r_la, r_p)
+
+
+def test_fused_engine_fallbacks_are_recorded_too():
+    g = _graph()
+    user = int(g.out_degrees.argmax())
+    svc, _ = _run_service("fused", [("wtf", {"user": user})])
+    assert any("no fused runner" in reason
+               for _, reason in svc.engine_fallbacks)
+
+
+def test_laned_batches_stay_pooled_and_record_nothing():
+    svc, replies = _run_service("la", [("bfs", {"src": 0})])
+    assert not svc.engine_fallbacks
+    assert replies
